@@ -1,0 +1,83 @@
+"""Ablation — LRSC retry backoff window (motivates the paper's 128).
+
+Sweeps the fixed backoff window of the LRSC retry loop on the
+high-contention histogram.  Too small a window floods the shared
+interconnect stage and the bank with retries — below ~2 cycles/core
+the system quasi-livelocks, which is why this ablation measures over a
+**fixed cycle horizon** (open-loop throughput) rather than running to
+completion.  Too large a window leaves the bank idle between winners.
+
+The finding: the optimal *fixed* window grows with the number of
+contenders (there is no one-size-fits-all constant — the paper's 128
+suits its lock workloads, not a raw 32-core single-address storm),
+while *exponential* backoff finds the operating point adaptively and
+matches or beats every fixed window.  That fragility is exactly the
+motivation for replacing retry loops with a hardware queue (LRSCwait).
+"""
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.algorithms.histogram import Histogram
+from repro.eval.reporting import render_table
+from repro.sync.backoff import ExponentialBackoff, FixedBackoff
+from repro.sync.rmw import lrsc_fetch_modify
+
+from common import BENCH_CORES, report, run_experiment
+
+WINDOWS = [8, 32, 128, 512, 2048]
+HORIZON = 30_000
+
+
+def run_point(backoff):
+    machine = Machine(SystemConfig.scaled(BENCH_CORES),
+                      VariantSpec.lrsc(), seed=0)
+    histogram = Histogram(machine, 1)
+
+    def kernel(api):
+        while True:  # open loop: measure over a fixed horizon
+            yield from lrsc_fetch_modify(
+                api, histogram.bin_addr(0), lambda v: v + 1,
+                backoff=backoff)
+            yield from api.retire()
+
+    machine.load_all(kernel)
+    stats = machine.run_for(HORIZON)
+    # Conservation still holds at the snapshot: bins count every
+    # committed increment, retires may lag by at most one per core.
+    committed = machine.peek(histogram.bin_addr(0))
+    assert committed >= stats.total_ops
+    assert committed <= stats.total_ops + BENCH_CORES
+    return stats.throughput, stats.total_sc_failures
+
+
+def sweep():
+    rows = []
+    for window in WINDOWS:
+        throughput, failures = run_point(FixedBackoff(window))
+        rows.append((f"fixed {window}", throughput, failures))
+    throughput, failures = run_point(ExponentialBackoff())
+    rows.append(("exponential", throughput, failures))
+    return rows
+
+
+def test_ablation_backoff(benchmark):
+    rows = run_experiment(benchmark, sweep)
+    rendered = render_table(
+        ["backoff", "updates/cycle", "SC failures"], rows,
+        title=(f"Ablation — LRSC backoff at 1 bin, {BENCH_CORES} cores, "
+               f"{HORIZON}-cycle horizon"))
+    by_label = {row[0]: row[1] for row in rows}
+    report(benchmark, rendered,
+           best_fixed=max(rows[:-1], key=lambda r: r[1])[0])
+    failures = {row[0]: row[2] for row in rows}
+    # Tiny windows generate the most retry traffic and the least
+    # throughput (the flood regime)...
+    assert failures["fixed 8"] > failures["fixed 512"]
+    assert by_label["fixed 8"] < by_label["fixed 128"]
+    # ...throughput grows monotonically out of the flood regime at this
+    # contention level (the optimum shifts with core count)...
+    ordered = [by_label[f"fixed {w}"] for w in WINDOWS]
+    assert ordered == sorted(ordered)
+    # ...and adaptive exponential backoff is competitive with the best
+    # fixed window without knowing the contention in advance.
+    best = max(ordered)
+    assert by_label["exponential"] > 0.8 * best

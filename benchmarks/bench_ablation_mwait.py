@@ -1,0 +1,61 @@
+"""Ablation — Mwait wake-chain latency vs waiter count (§IV-B).
+
+On Colibri, a single store wakes the whole Mwait queue *serially*: each
+response bounces a WakeUpRequest through the woken core's Qnode before
+the controller releases the next response.  The centralized LRSCwait
+queue wakes its chain inside the controller.  This bench measures the
+last-waiter wake latency as the chain grows: Colibri should scale
+linearly with a larger slope (two extra message hops per waiter).
+"""
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.eval.reporting import render_table
+
+from common import report, run_experiment
+
+WAITERS = [2, 8, 24]
+
+
+def wake_span(variant, waiters):
+    """Cycles from the waking store until the last waiter resumes."""
+    machine = Machine(SystemConfig.scaled(32), variant, seed=0)
+    flag = machine.allocator.alloc_interleaved(1)
+    store_cycle = []
+    wake_cycles = []
+
+    def writer(api):
+        yield from api.compute(300)  # let every waiter enqueue first
+        yield from api.sw(flag, 1)
+        store_cycle.append(machine.sim.now)
+
+    def waiter(api):
+        yield from api.mwait(flag, expected=0)
+        wake_cycles.append(machine.sim.now)
+
+    machine.load(0, writer)
+    machine.load_range(range(1, 1 + waiters), waiter)
+    machine.run()
+    return max(wake_cycles) - store_cycle[0]
+
+
+def sweep():
+    rows = []
+    for waiters in WAITERS:
+        central = wake_span(VariantSpec.lrscwait_ideal(), waiters)
+        colibri = wake_span(VariantSpec.colibri(), waiters)
+        rows.append((waiters, central, colibri))
+    return rows
+
+
+def test_ablation_mwait_chain(benchmark):
+    rows = run_experiment(benchmark, sweep)
+    rendered = render_table(
+        ["#waiters", "central wake span", "colibri wake span"], rows,
+        title="Ablation — Mwait wake-chain latency")
+    report(benchmark, rendered,
+           colibri_span_at_max=rows[-1][2],
+           central_span_at_max=rows[-1][1])
+    # Both chains grow with the waiter count; Colibri pays the extra
+    # Qnode round trips.
+    assert rows[-1][2] > rows[0][2]
+    assert rows[-1][2] >= rows[-1][1]

@@ -1,0 +1,53 @@
+"""Microbenchmarks of the simulator substrate itself.
+
+Not a paper experiment: these track the host-side cost of the
+discrete-event kernel and a representative end-to-end simulation, so
+regressions in simulator performance are caught alongside the paper
+benches.
+"""
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.engine.simulator import Simulator
+
+
+def test_event_kernel_throughput(benchmark):
+    """Schedule-and-run cost of 20k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [20_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(1, tick)
+
+        sim.schedule(1, tick)
+        sim.run()
+        return sim.now
+
+    cycles = benchmark(run)
+    assert cycles == 20_000
+
+
+def test_end_to_end_histogram_sim(benchmark):
+    """A representative 16-core Colibri histogram, measured end to end."""
+
+    def run():
+        machine = Machine(SystemConfig.scaled(16), VariantSpec.colibri(),
+                          seed=1)
+        counter = machine.allocator.alloc_interleaved(1)
+
+        def kernel(api):
+            for _ in range(8):
+                resp = yield from api.lrwait(counter)
+                yield from api.compute(1)
+                yield from api.scwait(counter, resp.value + 1)
+                yield from api.retire()
+
+        machine.load_all(kernel)
+        stats = machine.run()
+        return stats.total_ops
+
+    ops = benchmark(run)
+    assert ops == 16 * 8

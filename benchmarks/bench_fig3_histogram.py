@@ -1,0 +1,34 @@
+"""Fig. 3 — histogram throughput of the RMW primitives.
+
+Regenerates the full six-series sweep (Atomic Add, LRSCwait_ideal,
+LRSCwait_half, LRSCwait_1, Colibri, LRSC) at CI scale and checks the
+paper's shape claims: AMO is the roofline, Colibri tracks the ideal
+queue, LRSC trails everywhere, the bounded queue collapses at high
+contention.
+"""
+
+from repro.eval.fig3 import run_fig3
+
+from common import (
+    BENCH_BINS,
+    BENCH_CORES,
+    BENCH_UPDATES,
+    report,
+    run_experiment,
+)
+
+
+def test_fig3_histogram(benchmark):
+    result = run_experiment(benchmark, run_fig3,
+                            num_cores=BENCH_CORES,
+                            bins_list=BENCH_BINS,
+                            updates_per_core=BENCH_UPDATES)
+    speedup = result.speedup_over_lrsc(1)
+    report(benchmark, result.render(),
+           colibri_over_lrsc_at_1_bin=speedup)
+    series = result.throughput_series()
+    assert speedup > 1.5
+    for index in range(len(result.bins)):
+        assert series["Colibri"][index] > series["LRSC"][index]
+        assert series["Atomic Add"][index] >= series["Colibri"][index]
+    assert series["LRSCwait_1"][0] < series["LRSCwait_ideal"][0]

@@ -1,0 +1,31 @@
+"""Fig. 4 — lock implementations vs generic RMW atomics.
+
+Regenerates the six lock/RMW series at CI scale and checks the paper's
+claims: Colibri outperforms every lock at every contention; the
+spin-lock family suffers at high contention; the Mwait MCS lock beats
+the polling locks when contention is high.
+"""
+
+from repro.eval.fig4 import run_fig4
+
+from common import (
+    BENCH_BINS,
+    BENCH_CORES,
+    BENCH_UPDATES,
+    report,
+    run_experiment,
+)
+
+
+def test_fig4_locks(benchmark):
+    result = run_experiment(benchmark, run_fig4,
+                            num_cores=BENCH_CORES,
+                            bins_list=BENCH_BINS,
+                            updates_per_core=BENCH_UPDATES)
+    series = result.throughput_series()
+    report(benchmark, result.render(),
+           colibri_wins_everywhere=result.colibri_wins_everywhere(),
+           mwait_over_lrsc_lock_at_1_bin=(
+               series["Mwait lock"][0] / series["LRSC lock"][0]))
+    assert result.colibri_wins_everywhere()
+    assert series["Mwait lock"][0] > series["LRSC lock"][0]

@@ -1,0 +1,29 @@
+"""Fig. 6 — concurrent queue throughput and fairness vs core count.
+
+Regenerates the three queue series (Colibri, Atomic Add lock, LRSC)
+over a core sweep and checks: Colibri sustains throughput to the full
+system, beats both baselines at scale, and keeps the per-core fairness
+band narrow where LRSC's spreads.
+"""
+
+from repro.eval.fig6 import run_fig6
+
+from common import BENCH_CORES, report, run_experiment
+
+CORE_SWEEP = [1, 4, 8, 16, 32]
+
+
+def test_fig6_queue(benchmark):
+    result = run_experiment(benchmark, run_fig6,
+                            max_cores=BENCH_CORES,
+                            core_counts=CORE_SWEEP,
+                            ops_per_core=12)
+    series = result.throughput_series()
+    fairness = result.fairness_series()
+    report(benchmark, result.render(),
+           colibri_over_lrsc_at_max=result.speedup(CORE_SWEEP[-1]),
+           colibri_fairness_at_max=fairness["Colibri"][-1],
+           lrsc_fairness_at_max=fairness["LRSC"][-1])
+    assert series["Colibri"][-1] > series["LRSC"][-1]
+    assert series["Colibri"][-1] > series["Atomic Add lock"][-1]
+    assert fairness["Colibri"][-1] > fairness["LRSC"][-1]

@@ -1,0 +1,61 @@
+"""Extension — the §II LR/SC design space vs LRSCwait.
+
+The paper's related-work section surveys how existing systems store
+LR/SC reservations: MemPool's single slot per bank (stealable), ATUN's
+per-core table (non-blocking but O(n) storage per bank), and GRVI's
+bank-granularity bits (cheap but spuriously failing).  None of them
+removes the retry loop.  This bench runs the contended histogram on
+all of them plus Colibri: the reservation-storage upgrades help, but
+the polling-free primitive dominates them all.
+"""
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.algorithms.histogram import Histogram
+from repro.eval.reporting import render_table
+
+from common import BENCH_CORES, BENCH_UPDATES, report, run_experiment
+
+VARIANTS = [
+    ("LRSC (MemPool 1-slot)", VariantSpec.lrsc(), "lrsc"),
+    ("LRSC (ATUN table)", VariantSpec.lrsc_table(), "lrsc"),
+    ("LRSC (GRVI bank-bit)", VariantSpec.lrsc_bank(), "lrsc"),
+    ("Colibri (LRSCwait)", VariantSpec.colibri(), "wait"),
+]
+
+
+def run_point(variant, method, num_bins):
+    machine = Machine(SystemConfig.scaled(BENCH_CORES), variant, seed=1)
+    histogram = Histogram(machine, num_bins)
+    machine.load_all(histogram.kernel_factory(method, BENCH_UPDATES))
+    stats = machine.run()
+    histogram.verify(BENCH_CORES * BENCH_UPDATES)
+    return stats
+
+
+def sweep():
+    rows = []
+    for label, variant, method in VARIANTS:
+        high = run_point(variant, method, 1)
+        low = run_point(variant, method, 64)
+        rows.append((label, high.throughput, low.throughput,
+                     high.total_sc_failures))
+    return rows
+
+
+def test_related_work_lrsc_designs(benchmark):
+    rows = run_experiment(benchmark, sweep)
+    rendered = render_table(
+        ["design", "thr @1 bin", "thr @64 bins", "SC fails @1 bin"],
+        rows,
+        title=f"§II design space, histogram, {BENCH_CORES} cores")
+    by_label = {row[0]: row for row in rows}
+    report(benchmark, rendered,
+           colibri_over_best_lrsc=(
+               by_label["Colibri (LRSCwait)"][1]
+               / max(r[1] for r in rows[:3])))
+    # Colibri beats every retry-based design at high contention and
+    # has zero failed stores.
+    colibri = by_label["Colibri (LRSCwait)"]
+    for label, *_rest in rows[:3]:
+        assert colibri[1] > by_label[label][1]
+    assert colibri[3] == 0

@@ -1,0 +1,17 @@
+"""Table I — tile area model (analytic; fast).
+
+Regenerates every row of the paper's Table I from the fitted area
+model and prints the model-vs-paper comparison, plus the system-level
+scaling table behind the §III-A O(n²)-vs-O(n) argument.
+"""
+
+from repro.eval.table1 import run_table1, scaling_table
+
+from common import report, run_experiment
+
+
+def test_table1_area(benchmark):
+    result = run_experiment(benchmark, run_table1)
+    report(benchmark, result.render() + "\n\n" + scaling_table(),
+           max_relative_error=result.max_relative_error())
+    assert result.max_relative_error() < 0.02

@@ -1,0 +1,23 @@
+"""Table II — energy per atomic access at maximum contention.
+
+Regenerates the paper's Table II rows (Atomic Add, Colibri, LRSC with
+backoff, Atomic Add lock) at CI scale and checks the ordering and the
+order-of-magnitude ratios (paper: LRSC ≈ 7.1× Colibri, lock ≈ 8.8×).
+"""
+
+from repro.eval.table2 import run_table2
+
+from common import BENCH_CORES, BENCH_UPDATES, report, run_experiment
+
+
+def test_table2_energy(benchmark):
+    result = run_experiment(benchmark, run_table2,
+                            num_cores=BENCH_CORES,
+                            updates_per_core=BENCH_UPDATES)
+    report(benchmark, result.render(),
+           lrsc_over_colibri=result.ratio("LRSC"),
+           lock_over_colibri=result.ratio("Atomic Add lock"))
+    by_label = {row[0]: row[2] for row in result.rows}
+    assert (by_label["Atomic Add"] < by_label["Colibri"]
+            < by_label["LRSC"] < by_label["Atomic Add lock"])
+    assert result.ratio("LRSC") > 3

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a
+CI-friendly scale, prints the same rows/series the paper reports (run
+pytest with ``-s`` to see them), and records the headline numbers in
+``benchmark.extra_info`` so they land in pytest-benchmark's JSON.
+
+Simulations are deterministic, so a single round measures them exactly;
+``run_experiment`` wraps ``benchmark.pedantic`` accordingly.  Scales
+default to 32 cores — the paper's qualitative shape holds from 16 cores
+up (asserted by the test-suite), while full-scale runs are available
+through ``examples/reproduce_paper.py --full``.
+"""
+
+from __future__ import annotations
+
+#: Default CI scale for simulation benchmarks.
+BENCH_CORES = 32
+#: Bin sweep used by the histogram benches at CI scale.
+BENCH_BINS = [1, 4, 16, 64]
+#: Updates per core for histogram benches.
+BENCH_UPDATES = 6
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` once (deterministic sim) and return its result."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    return result
+
+
+def report(benchmark, rendered: str, **extra) -> None:
+    """Print the paper-style table and stash headline numbers."""
+    print("\n" + rendered)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper.
+
+Default scale is CI-friendly (32-64 cores); pass ``--full`` for the
+paper's 256-core MemPool instance (slow: tens of minutes of host time).
+Use ``--only fig3`` (etc.) to run a single experiment.
+
+Run:  python examples/reproduce_paper.py [--full] [--only EXP]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.eval import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+    scaling_table,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper scale: 256 cores, full sweeps")
+    parser.add_argument("--only", default=None,
+                        choices=["table1", "table2", "fig3", "fig4",
+                                 "fig5", "fig6"],
+                        help="run a single experiment")
+    args = parser.parse_args(argv)
+
+    cores = 256 if args.full else 64
+    fig5_cores = 256 if args.full else 128
+    updates = 8
+
+    experiments = {
+        "table1": lambda: run_table1().render() + "\n\n" + scaling_table(),
+        "table2": lambda: run_table2(num_cores=cores,
+                                     updates_per_core=updates).render(),
+        "fig3": lambda: run_fig3(num_cores=cores,
+                                 updates_per_core=updates).render(),
+        "fig4": lambda: run_fig4(num_cores=cores,
+                                 updates_per_core=updates).render(),
+        "fig5": lambda: run_fig5(num_cores=fig5_cores).render(),
+        "fig6": lambda: run_fig6(max_cores=cores).render(),
+    }
+    chosen = [args.only] if args.only else list(experiments)
+
+    for name in chosen:
+        start = time.time()
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        print(experiments[name]())
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

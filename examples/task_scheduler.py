@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Work-stealing-style task scheduler on the concurrent queue (§V-C).
+
+"Concurrent queues are widely used for task scheduling or
+producer/consumer pipelines."  This example uses the MCS-style queue as
+a central task pool: a dispatcher core enqueues tasks with varying
+cycle costs, worker cores pull and execute them until a poison pill
+arrives.  It runs the same schedule on the Colibri queue and on the
+lock-based queue and reports makespan and worker fairness — the two
+metrics Fig. 6 plots.
+
+Run:  python examples/task_scheduler.py
+"""
+
+import random
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.algorithms.mcs_queue import ConcurrentQueue
+
+CORES = 16
+WORKERS = CORES - 1
+NUM_TASKS = 60
+POISON = 0xDEAD
+
+
+def schedule(seed=21):
+    """Deterministic task list: (task id, cycle cost)."""
+    rng = random.Random(seed)
+    return [(task_id, rng.randrange(20, 200))
+            for task_id in range(NUM_TASKS)]
+
+
+def build(method, variant):
+    machine = Machine(SystemConfig.scaled(CORES), variant, seed=3)
+    queue = ConcurrentQueue(machine, method,
+                            nodes_per_core=NUM_TASKS + WORKERS + 2)
+    tasks = schedule()
+    executed = {}
+
+    def dispatcher(api):
+        for task_id, cost in tasks:
+            # Encode (id, cost) in one word: id << 12 | cost.
+            yield from queue.enqueue(api, (task_id << 12) | cost)
+        for _ in range(WORKERS):
+            yield from queue.enqueue(api, POISON << 12)
+
+    def worker(api):
+        while True:
+            ok, word = yield from queue.dequeue(api)
+            if not ok:
+                # Polite empty-queue poll: hammering the queue (and, for
+                # the lock-based variant, its lock) starves the
+                # dispatcher trying to refill it.
+                yield from api.compute(30 + api.rng.randrange(30))
+                continue
+            task_id, cost = word >> 12, word & 0xFFF
+            if task_id == POISON:
+                return
+            yield from api.compute(cost)  # execute the task
+            executed[task_id] = api.core_id
+            yield from api.retire()
+
+    machine.load(0, dispatcher)
+    machine.load_range(range(1, CORES), worker)
+    stats = machine.run()
+    assert len(executed) == NUM_TASKS  # every task ran exactly once
+    return stats, executed
+
+
+def main():
+    results = {}
+    for label, method, variant in [
+        ("Colibri queue", "wait", VariantSpec.colibri()),
+        ("lock-based queue", "lock", VariantSpec.amo()),
+        ("LRSC queue", "lrsc", VariantSpec.lrsc()),
+    ]:
+        stats, executed = build(method, variant)
+        per_worker = [sum(1 for w in executed.values() if w == core)
+                      for core in range(1, CORES)]
+        results[label] = (stats.cycles, min(per_worker), max(per_worker))
+
+    print(f"{NUM_TASKS} tasks over {WORKERS} workers through a shared "
+          f"task queue\n")
+    header = (f"{'scheduler':20}{'makespan':>10}{'min tasks':>11}"
+              f"{'max tasks':>11}")
+    print(header)
+    print("-" * len(header))
+    for label, (cycles, lo, hi) in results.items():
+        print(f"{label:20}{cycles:>10}{lo:>11}{hi:>11}")
+    colibri = results["Colibri queue"][0]
+    lock = results["lock-based queue"][0]
+    print(f"\nColibri queue finishes the schedule "
+          f"{lock / colibri:.2f}x faster than the lock-based queue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works as an editable-install fallback on
+minimal environments whose setuptools lacks PEP 660 wheel support
+(e.g. offline boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

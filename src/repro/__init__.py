@@ -1,0 +1,57 @@
+"""LRSCwait / Colibri — a reproduction of the DATE 2024 paper.
+
+*LRSCwait: Enabling Scalable and Efficient Synchronization in Manycore
+Systems through Polling-Free and Retry-Free Operation* (Riedel,
+Gantenbein, Ottaviano, Hoefler, Benini).
+
+The package provides:
+
+* a behavioural, cycle-approximate discrete-event simulator of a
+  MemPool-like manycore system (:class:`~repro.machine.Machine`);
+* the full family of atomic-unit variants the paper evaluates —
+  plain AMOs, MemPool's single-slot LR/SC, centralized
+  LRSCwait\\ :sub:`q`, and the distributed **Colibri** queue with
+  Mwait (:class:`~repro.memory.variants.VariantSpec`);
+* a software synchronization library running on the simulated cores
+  (spin locks, LRSC lock, Colibri lock, Mwait-based MCS lock, barrier);
+* concurrent algorithms (histogram, MCS queue, matmul workers) and the
+  evaluation harness regenerating every table and figure of the paper
+  (:mod:`repro.eval`).
+"""
+
+from .arch.config import LatencyConfig, SystemConfig
+from .cores.api import CoreApi
+from .engine.errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+)
+from .engine.stats import SimStats
+from .engine.trace import Tracer
+from .engine.vcd import write_vcd
+from .interconnect.messages import Op, Status
+from .machine import Machine
+from .memory.variants import VariantSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LatencyConfig",
+    "SystemConfig",
+    "CoreApi",
+    "ConfigError",
+    "DeadlockError",
+    "ProtocolViolation",
+    "ReproError",
+    "SimulationError",
+    "SimStats",
+    "Tracer",
+    "write_vcd",
+    "Op",
+    "Status",
+    "Machine",
+    "VariantSpec",
+    "__version__",
+]

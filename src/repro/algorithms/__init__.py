@@ -1,0 +1,21 @@
+"""Concurrent algorithms running on the simulated cores."""
+
+from .histogram import Histogram, RMW_METHODS, create_shared_mcs_locks
+from .matmul import Matmul
+from .mcs_queue import (
+    ConcurrentQueue,
+    NodeArena,
+    QUEUE_METHODS,
+    queue_worker_kernel,
+)
+
+__all__ = [
+    "Histogram",
+    "RMW_METHODS",
+    "create_shared_mcs_locks",
+    "Matmul",
+    "ConcurrentQueue",
+    "NodeArena",
+    "QUEUE_METHODS",
+    "queue_worker_kernel",
+]

@@ -1,0 +1,15 @@
+"""System architecture: configuration, topology, address map, allocator."""
+
+from .address_map import AddressMap
+from .allocator import Allocator
+from .config import LatencyConfig, SystemConfig
+from .topology import DISTANCE_CLASSES, Topology
+
+__all__ = [
+    "AddressMap",
+    "Allocator",
+    "LatencyConfig",
+    "SystemConfig",
+    "DISTANCE_CLASSES",
+    "Topology",
+]

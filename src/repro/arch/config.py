@@ -1,0 +1,151 @@
+"""System configuration.
+
+The reference platform is MemPool (paper §V): 256 RISC-V cores grouped
+into 64 tiles of 4 cores, 4 groups of 16 tiles, and 1024 SPM banks of
+shared L1 (16 banks per tile).  Requests traverse a hierarchical
+interconnect whose latency depends on whether the target bank sits in
+the requesting core's tile, its group, or a remote group.
+
+Everything is parameterizable so the test-suite and benchmarks can run
+scaled-down instances (the paper's *shape* claims are scale-robust; see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..engine.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """One-way interconnect latencies and bank service time, in cycles.
+
+    The defaults follow MemPool's published access latencies: a bank in
+    the local tile responds within the cycle (modelled as 1 cycle each
+    way), a bank in the same group costs a few cycles through the local
+    interconnect, and a remote group goes through the global
+    interconnect.
+    """
+
+    #: Core to a bank inside the same tile (one way).
+    local_tile: int = 1
+    #: Core to a bank in another tile of the same group (one way).
+    same_group: int = 3
+    #: Core to a bank in a remote group (one way).
+    remote_group: int = 5
+    #: Bank service occupancy per request (port busy time).
+    bank_cycles: int = 1
+    #: Extra cycles a Qnode needs to process/forward a message.
+    qnode_cycles: int = 1
+    #: Remote requests a tile's shared ingress port accepts per cycle.
+    #: Traffic from other tiles to any bank of a tile serializes here —
+    #: this is the resource a retry storm saturates and through which
+    #: atomics interfere with unrelated workers (Fig. 5).  Tile-local
+    #: accesses bypass it, like MemPool's local bank ports.
+    tile_ingress_per_cycle: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on non-positive latencies."""
+        for name in ("local_tile", "same_group", "remote_group",
+                     "bank_cycles", "qnode_cycles",
+                     "tile_ingress_per_cycle"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"latency {name} must be >= 1")
+        if not (self.local_tile <= self.same_group <= self.remote_group):
+            raise ConfigError(
+                "latencies must be monotone: local <= group <= global")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Shape and timing of the simulated manycore system."""
+
+    num_cores: int = 256
+    cores_per_tile: int = 4
+    banks_per_tile: int = 16
+    num_groups: int = 4
+    #: Word size of the SPM in bytes (RV32 in MemPool).
+    word_bytes: int = 4
+    #: Capacity of each bank in words (1 MiB / 1024 banks / 4 B = 256).
+    words_per_bank: int = 256
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+
+    # -- derived shape -------------------------------------------------------
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tiles in the system."""
+        return self.num_cores // self.cores_per_tile
+
+    @property
+    def tiles_per_group(self) -> int:
+        """Tiles in each group."""
+        return self.num_tiles // self.num_groups
+
+    @property
+    def num_banks(self) -> int:
+        """Total SPM banks in the system."""
+        return self.num_tiles * self.banks_per_tile
+
+    @property
+    def memory_words(self) -> int:
+        """Total words of simulated SPM."""
+        return self.num_banks * self.words_per_bank
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bytes of simulated SPM."""
+        return self.memory_words * self.word_bytes
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`ConfigError` if bad."""
+        if self.num_cores < 1:
+            raise ConfigError("num_cores must be >= 1")
+        if self.cores_per_tile < 1 or self.num_cores % self.cores_per_tile:
+            raise ConfigError(
+                f"num_cores={self.num_cores} must be a multiple of "
+                f"cores_per_tile={self.cores_per_tile}")
+        if self.num_groups < 1 or self.num_tiles % self.num_groups:
+            raise ConfigError(
+                f"num_tiles={self.num_tiles} must be a multiple of "
+                f"num_groups={self.num_groups}")
+        if self.banks_per_tile < 1:
+            raise ConfigError("banks_per_tile must be >= 1")
+        if self.word_bytes not in (4, 8):
+            raise ConfigError("word_bytes must be 4 or 8")
+        if self.words_per_bank < 1:
+            raise ConfigError("words_per_bank must be >= 1")
+        self.latency.validate()
+
+    # -- canned configurations ------------------------------------------------
+
+    @classmethod
+    def mempool(cls) -> "SystemConfig":
+        """The full 256-core, 1024-bank MemPool instance of the paper."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, num_cores: int, words_per_bank: int = 256) -> "SystemConfig":
+        """A scaled-down MemPool keeping the 4-cores/16-banks tile shape.
+
+        Groups shrink with the system: systems of at most 16 tiles use
+        a single level of 4 groups when divisible, otherwise fewer.
+        Used by tests and CI benchmarks.
+        """
+        if num_cores % 4:
+            raise ConfigError("scaled systems need num_cores % 4 == 0")
+        num_tiles = num_cores // 4
+        num_groups = 4 if num_tiles % 4 == 0 and num_tiles >= 4 else 1
+        config = cls(num_cores=num_cores, cores_per_tile=4,
+                     banks_per_tile=16, num_groups=num_groups,
+                     words_per_bank=words_per_bank)
+        config.validate()
+        return config
+
+    def with_latency(self, **kwargs) -> "SystemConfig":
+        """Copy of this config with some latency fields replaced."""
+        return replace(self, latency=replace(self.latency, **kwargs))

@@ -1,0 +1,86 @@
+"""Hierarchical MemPool topology: tiles, groups, and distance model.
+
+The interconnect is a three-level hierarchy.  A request from a core to
+a bank is classified as *local* (same tile), *group* (same group,
+different tile) or *global* (different group); each class has a fixed
+one-way latency from :class:`~repro.arch.config.LatencyConfig` and a hop
+count used by the energy model (longer routes toggle more wires).
+"""
+
+from __future__ import annotations
+
+from .config import SystemConfig
+
+#: Distance class names, ordered near to far.
+DISTANCE_CLASSES = ("local", "group", "global")
+
+
+class Topology:
+    """Distance and placement queries over a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self._cores_per_tile = config.cores_per_tile
+        self._banks_per_tile = config.banks_per_tile
+        self._tiles_per_group = config.tiles_per_group
+
+    # -- placement ---------------------------------------------------------
+
+    def tile_of_core(self, core_id: int) -> int:
+        """Tile index holding a core."""
+        return core_id // self._cores_per_tile
+
+    def tile_of_bank(self, bank_id: int) -> int:
+        """Tile index holding a bank."""
+        return bank_id // self._banks_per_tile
+
+    def group_of_tile(self, tile_id: int) -> int:
+        """Group index holding a tile."""
+        return tile_id // self._tiles_per_group
+
+    def cores_in_tile(self, tile_id: int) -> range:
+        """Core ids located in the given tile."""
+        start = tile_id * self._cores_per_tile
+        return range(start, start + self._cores_per_tile)
+
+    def banks_in_tile(self, tile_id: int) -> range:
+        """Bank ids located in the given tile."""
+        start = tile_id * self._banks_per_tile
+        return range(start, start + self._banks_per_tile)
+
+    def local_banks_of_core(self, core_id: int) -> range:
+        """Bank ids in the same tile as the given core."""
+        return self.banks_in_tile(self.tile_of_core(core_id))
+
+    # -- distances ----------------------------------------------------------
+
+    def distance_class(self, core_id: int, bank_id: int) -> str:
+        """``"local"``, ``"group"`` or ``"global"`` for a core-bank pair."""
+        core_tile = self.tile_of_core(core_id)
+        bank_tile = self.tile_of_bank(bank_id)
+        if core_tile == bank_tile:
+            return "local"
+        if self.group_of_tile(core_tile) == self.group_of_tile(bank_tile):
+            return "group"
+        return "global"
+
+    def latency(self, core_id: int, bank_id: int) -> int:
+        """One-way message latency between a core and a bank, in cycles."""
+        cls = self.distance_class(core_id, bank_id)
+        lat = self.config.latency
+        if cls == "local":
+            return lat.local_tile
+        if cls == "group":
+            return lat.same_group
+        return lat.remote_group
+
+    def hop_count(self, core_id: int, bank_id: int) -> int:
+        """Router hops for the energy model (== one-way latency here).
+
+        In a hierarchical crossbar like MemPool's, each cycle of latency
+        corresponds to one switch stage, so hops and latency coincide.
+        Kept as a separate method so a different network model can split
+        them.
+        """
+        return self.latency(core_id, bank_id)

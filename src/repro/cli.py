@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the paper's experiments and the simulator's
+diagnostics without writing a kernel:
+
+* ``histogram`` — run the contended-histogram workload on any variant
+  and print the run summary (throughput, time split, hot banks);
+* ``queue`` — run the concurrent-queue workload and print throughput
+  plus per-core fairness;
+* ``interference`` — one Fig. 5 point: matmul slowdown under pollers;
+* ``area`` — Table I (model vs paper) and the scaling extrapolation;
+* ``energy`` — Table II at a chosen scale;
+* ``reproduce`` — every table and figure (``--full`` for 256 cores).
+
+All commands are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from .algorithms.histogram import Histogram
+from .algorithms.mcs_queue import ConcurrentQueue, queue_worker_kernel
+from .arch.config import SystemConfig
+from .eval.analysis import summarize
+from .eval.fig3 import run_fig3
+from .eval.fig4 import run_fig4
+from .eval.fig5 import run_fig5
+from .eval.fig6 import run_fig6
+from .eval.reporting import render_table
+from .eval.table1 import run_table1, scaling_table
+from .eval.table2 import run_table2
+from .machine import Machine
+from .memory.variants import VariantSpec
+from .power.energy import EnergyModel
+from .sync.locks import (
+    AmoSpinLock,
+    ColibriSpinLock,
+    LrscSpinLock,
+    MwaitMcsLock,
+)
+from .workloads.interference import run_interference
+
+#: CLI names for hardware variants.
+VARIANT_CHOICES = {
+    "amo": VariantSpec.amo,
+    "lrsc": VariantSpec.lrsc,
+    "lrsc-table": VariantSpec.lrsc_table,
+    "lrsc-bank": VariantSpec.lrsc_bank,
+    "lrscwait1": lambda: VariantSpec.lrscwait(1),
+    "lrscwait8": lambda: VariantSpec.lrscwait(8),
+    "ideal": VariantSpec.lrscwait_ideal,
+    "colibri": VariantSpec.colibri,
+}
+
+#: CLI names for histogram lock flavours.
+LOCK_CHOICES = {
+    "amo": AmoSpinLock,
+    "lrsc": LrscSpinLock,
+    "colibri": ColibriSpinLock,
+    "mcs": MwaitMcsLock,
+}
+
+#: Default update method per variant kind when none is given.
+DEFAULT_METHODS = {
+    "amo": "amo",
+    "lrsc": "lrsc",
+    "lrsc_table": "lrsc",
+    "lrsc_bank": "lrsc",
+    "lrscwait": "wait",
+    "colibri": "wait",
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=32,
+                        help="number of cores (multiple of 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic workload seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LRSCwait/Colibri manycore-synchronization simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hist = sub.add_parser("histogram",
+                          help="contended histogram (Figs. 3/4 workload)")
+    _add_common(hist)
+    hist.add_argument("--variant", choices=sorted(VARIANT_CHOICES),
+                      default="colibri")
+    hist.add_argument("--method",
+                      choices=["amo", "lrsc", "wait", "lock"],
+                      default=None,
+                      help="update method (default: variant's native)")
+    hist.add_argument("--lock", choices=sorted(LOCK_CHOICES),
+                      default="amo", help="lock flavour for --method lock")
+    hist.add_argument("--bins", type=int, default=16)
+    hist.add_argument("--updates", type=int, default=8,
+                      help="updates per core")
+
+    queue = sub.add_parser("queue",
+                           help="concurrent queue (Fig. 6 workload)")
+    _add_common(queue)
+    queue.add_argument("--method", choices=["lrsc", "wait", "lock"],
+                       default="wait")
+    queue.add_argument("--ops", type=int, default=16,
+                       help="queue accesses per core")
+
+    interf = sub.add_parser("interference",
+                            help="matmul under pollers (Fig. 5 point)")
+    _add_common(interf)
+    interf.add_argument("--variant", choices=sorted(VARIANT_CHOICES),
+                        default="lrsc")
+    interf.add_argument("--workers", type=int, default=4)
+    interf.add_argument("--bins", type=int, default=1)
+
+    sub.add_parser("area", help="Table I area model")
+
+    energy = sub.add_parser("energy", help="Table II energy model")
+    _add_common(energy)
+    energy.add_argument("--updates", type=int, default=8)
+
+    repro = sub.add_parser("reproduce",
+                           help="every table and figure of the paper")
+    repro.add_argument("--full", action="store_true",
+                       help="paper scale (256 cores; slow)")
+    return parser
+
+
+def _variant(args) -> VariantSpec:
+    return VARIANT_CHOICES[args.variant]()
+
+
+def cmd_histogram(args) -> str:
+    variant = _variant(args)
+    method = args.method or DEFAULT_METHODS[variant.kind]
+    machine = Machine(SystemConfig.scaled(args.cores), variant,
+                      seed=args.seed)
+    histogram = Histogram(machine, args.bins)
+    if method == "lock":
+        histogram.attach_locks(LOCK_CHOICES[args.lock])
+    machine.load_all(histogram.kernel_factory(method, args.updates))
+    stats = machine.run()
+    histogram.verify(args.cores * args.updates)
+    energy = EnergyModel().evaluate(stats)
+    title = (f"histogram: {variant.label()}/{method}, {args.cores} cores, "
+             f"{args.bins} bins ({energy.pj_per_op:.0f} pJ/op)")
+    return summarize(stats, title=title)
+
+
+def cmd_queue(args) -> str:
+    variant = {"lrsc": VariantSpec.lrsc(), "wait": VariantSpec.colibri(),
+               "lock": VariantSpec.amo()}[args.method]
+    machine = Machine(SystemConfig.scaled(args.cores), variant,
+                      seed=args.seed)
+    queue = ConcurrentQueue(machine, args.method,
+                            nodes_per_core=args.ops // 2 + 2)
+    machine.load_all(lambda api: queue_worker_kernel(queue, api, args.ops))
+    stats = machine.run()
+    return summarize(stats, title=(f"queue: {args.method}, "
+                                   f"{args.cores} cores"))
+
+
+def cmd_interference(args) -> str:
+    variant = _variant(args)
+    method = DEFAULT_METHODS[variant.kind]
+    result = run_interference(SystemConfig.scaled(args.cores), variant,
+                              method, args.workers, args.bins,
+                              seed=args.seed)
+    rows = [
+        ("pollers : workers", f"{result.num_pollers}:{result.num_workers}"),
+        ("bins", result.num_bins),
+        ("baseline cycles", result.baseline_cycles),
+        ("interfered cycles", result.interfered_cycles),
+        ("relative throughput", round(result.relative_throughput, 4)),
+    ]
+    return render_table(["metric", "value"], rows,
+                        title=f"interference: {variant.label()}")
+
+
+def cmd_area(_args) -> str:
+    return run_table1().render() + "\n\n" + scaling_table()
+
+
+def cmd_energy(args) -> str:
+    return run_table2(num_cores=args.cores,
+                      updates_per_core=args.updates).render()
+
+
+def cmd_reproduce(args) -> str:
+    cores = 256 if args.full else 64
+    parts = [
+        run_table1().render(),
+        run_table2(num_cores=cores).render(),
+        run_fig3(num_cores=cores).render(),
+        run_fig4(num_cores=cores).render(),
+        run_fig5(num_cores=256 if args.full else 128).render(),
+        run_fig6(max_cores=cores).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+COMMANDS = {
+    "histogram": cmd_histogram,
+    "queue": cmd_queue,
+    "interference": cmd_interference,
+    "area": cmd_area,
+    "energy": cmd_energy,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(COMMANDS[args.command](args))
+    return 0

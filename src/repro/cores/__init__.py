@@ -1,0 +1,7 @@
+"""Core model: harts, the kernel command API, and Colibri Qnodes."""
+
+from .api import Compute, CoreApi, MemCmd, Retire
+from .core import Core
+from .qnode import Qnode
+
+__all__ = ["Compute", "CoreApi", "MemCmd", "Retire", "Core", "Qnode"]

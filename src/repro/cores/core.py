@@ -1,0 +1,199 @@
+"""The core model: an in-order, blocking RV32IMA-style hart.
+
+Each core drives one kernel coroutine.  The FSM has three states whose
+durations are accounted separately because the energy model prices them
+differently (paper Table II: the whole point of LRSCwait is converting
+*active polling* cycles into *sleep* cycles):
+
+* ``ACTIVE`` — executing compute instructions or issuing a request;
+* ``STALLED`` — blocked on an ordinary memory response (short, bounded
+  by the interconnect round trip plus bank queueing);
+* ``SLEEPING`` — parked on a withheld LRwait/Mwait response; the core
+  is clock-gated and produces zero traffic until woken.
+
+Issue timing: every memory instruction costs one active cycle, after
+which the request enters the network; the kernel resumes the cycle the
+response arrives.  Compute commands run at IPC 1.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..engine.errors import KernelError, ProtocolViolation
+from ..engine.simulator import Simulator
+from ..engine.stats import CoreStats
+from ..interconnect.messages import MemRequest, MemResponse, Op, Status, WAIT_OPS
+from ..interconnect.network import Network
+from ..arch.address_map import AddressMap
+from .api import Compute, MemCmd, Retire
+from .qnode import Qnode
+
+#: FSM state labels.
+IDLE, ACTIVE, STALLED, SLEEPING, FINISHED = (
+    "idle", "active", "stalled", "sleeping", "finished")
+
+
+class Core:
+    """One simulated hart plus its Qnode."""
+
+    def __init__(self, core_id: int, sim: Simulator, network: Network,
+                 address_map: AddressMap, stats: CoreStats) -> None:
+        self.core_id = core_id
+        self.sim = sim
+        self.network = network
+        self.address_map = address_map
+        self.stats = stats
+        # The Qnode needs qnode_cycles - 1 extra cycles to process and
+        # forward a WakeUpRequest (the first cycle overlaps the event
+        # that triggered it, so the default of 1 adds nothing).
+        qnode_delay = address_map.config.latency.qnode_cycles - 1
+        if qnode_delay > 0:
+            def send_wakeup(msg, _delay=qnode_delay):
+                sim.schedule(_delay, lambda: network.send_wakeup(msg))
+        else:
+            send_wakeup = network.send_wakeup
+        self.qnode = Qnode(core_id, send_wakeup, self._send_stalled_wait)
+        self.state = IDLE
+        self._kernel: Optional[Generator] = None
+        self._outstanding: Optional[MemRequest] = None
+        self._wait_started = 0
+        self.finish_cycle: Optional[int] = None
+        network.register_core(core_id, self.deliver_response)
+        network.register_qnode(core_id, self.qnode.on_successor_update)
+
+    # -- kernel control -----------------------------------------------------
+
+    def load(self, kernel: Generator) -> None:
+        """Attach a kernel coroutine; call before the simulation starts."""
+        if self._kernel is not None:
+            raise KernelError(f"core {self.core_id} already has a kernel")
+        self._kernel = kernel
+        self.state = ACTIVE
+
+    def start(self) -> None:
+        """Schedule the first instruction at the current cycle."""
+        if self._kernel is None:
+            return
+        self.sim.schedule(0, lambda: self._advance(None))
+
+    @property
+    def finished(self) -> bool:
+        """True when the kernel ran to completion."""
+        return self.state == FINISHED
+
+    @property
+    def blocked_description(self) -> Optional[str]:
+        """Human-readable blockage info for deadlock reports."""
+        if self.state in (STALLED, SLEEPING) and self._outstanding is not None:
+            req = self._outstanding
+            return (f"core {self.core_id} {self.state} on {req.op.value} "
+                    f"@0x{req.addr:x} since cycle {self._wait_started}")
+        return None
+
+    # -- execution loop ---------------------------------------------------------
+
+    def _advance(self, send_value) -> None:
+        """Feed the kernel until it blocks on memory or time."""
+        assert self._kernel is not None
+        while True:
+            try:
+                cmd = self._kernel.send(send_value)
+            except StopIteration:
+                self._finish()
+                return
+            except ProtocolViolation:
+                raise
+            except Exception as exc:  # surface kernel bugs with context
+                raise KernelError(
+                    f"kernel on core {self.core_id} raised "
+                    f"{type(exc).__name__}: {exc}") from exc
+            send_value = None
+            if isinstance(cmd, Compute):
+                if cmd.cycles <= 0:
+                    continue
+                self.stats.active_cycles += cmd.cycles
+                self.stats.instructions += cmd.cycles
+                self.sim.schedule(cmd.cycles, lambda: self._advance(None))
+                return
+            if isinstance(cmd, Retire):
+                self.stats.ops_completed += cmd.count
+                continue
+            if isinstance(cmd, MemCmd):
+                self._issue(cmd)
+                return
+            raise KernelError(
+                f"core {self.core_id}: kernel yielded {cmd!r}, expected "
+                f"Compute/Retire/MemCmd")
+
+    def _finish(self) -> None:
+        self._set_state(FINISHED)
+        self.finish_cycle = self.sim.now
+
+    def _set_state(self, state: str) -> None:
+        """State transition with optional tracing (for VCD export)."""
+        if self.state != state:
+            self.state = state
+            self.sim.tracer.log(self.sim.now, f"core{self.core_id}",
+                                "core_state", state)
+
+    # -- memory issue ----------------------------------------------------------------
+
+    def _issue(self, cmd: MemCmd) -> None:
+        """Spend the issue cycle, then inject the request."""
+        req = MemRequest(op=cmd.op, core_id=self.core_id, addr=cmd.addr,
+                         value=cmd.value, expected=cmd.expected,
+                         issued_at=self.sim.now)
+        self.stats.active_cycles += 1
+        self.stats.instructions += 1
+        self.stats.count_request(cmd.op.value)
+        self._outstanding = req
+        self._set_state(SLEEPING if cmd.op in WAIT_OPS else STALLED)
+        # The request leaves the core after the 1-cycle issue stage.
+        self.sim.schedule(1, lambda: self._send(req))
+
+    def _send(self, req: MemRequest) -> None:
+        self._wait_started = self.sim.now
+        bank_id = self.address_map.bank_of(req.addr)
+        if req.op in WAIT_OPS:
+            if not self.qnode.try_issue_wait(req, bank_id):
+                return  # stalled inside the Qnode; released later
+        elif req.op is Op.SCWAIT:
+            # The SCwait passes the Qnode on its way out (Fig. 2 / 6).
+            self.network.send_request(req, bank_id)
+            self.qnode.on_scwait_pass()
+            return
+        self.network.send_request(req, bank_id)
+
+    def _send_stalled_wait(self, req: MemRequest, bank_id: int) -> None:
+        """Qnode callback: a buffered wait op finally enters the network."""
+        self.network.send_request(req, bank_id)
+
+    # -- response delivery ----------------------------------------------------------------
+
+    def deliver_response(self, resp: MemResponse) -> None:
+        """Network delivery of the response to the outstanding request."""
+        req = self._outstanding
+        if req is None or resp.core_id != self.core_id:
+            raise KernelError(
+                f"core {self.core_id}: unexpected response {resp}")
+        waited = self.sim.now - self._wait_started
+        if self.state == SLEEPING:
+            self.stats.sleep_cycles += waited
+        else:
+            self.stats.stalled_cycles += waited
+        self._outstanding = None
+        self._set_state(ACTIVE)
+        self._account_status(resp)
+        # The Qnode observes every response first (WakeUp dispatch).
+        self.qnode.on_response(resp)
+        self._advance(resp)
+
+    def _account_status(self, resp: MemResponse) -> None:
+        if resp.op in (Op.SC, Op.SCWAIT):
+            if resp.status is Status.OK:
+                self.stats.sc_successes += 1
+            else:
+                self.stats.sc_failures += 1
+        elif resp.op in WAIT_OPS and resp.status is Status.QUEUE_FULL:
+            self.stats.wait_rejections += 1

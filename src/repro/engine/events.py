@@ -1,0 +1,102 @@
+"""Discrete-event kernel primitives.
+
+The simulator is event-driven rather than cycle-stepped: every state
+change in the modelled hardware (a message arriving at a bank, a core
+finishing a compute burst, a Qnode bouncing a ``WakeUpRequest``) is an
+:class:`Event` scheduled at an integer cycle.  Sleeping cores therefore
+cost no host time, which is what makes simulating the paper's
+polling-free primitives cheap: a core blocked in ``LRwait`` produces no
+events until the memory controller releases its response.
+
+Determinism
+-----------
+Events are ordered by ``(cycle, priority, sequence)``.  The sequence
+number is a monotonically increasing insertion counter, so two events
+scheduled for the same cycle with the same priority fire in the order
+they were scheduled.  Combined with seeded RNGs this makes every
+simulation bit-reproducible, which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for events that must observe state *before* normal events in
+#: the same cycle (e.g. statistics sampling probes).
+PRIORITY_EARLY = -1
+#: Priority for events that must run after all normal activity of a
+#: cycle (e.g. end-of-cycle invariant checks in debug mode).
+PRIORITY_LATE = 1
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Instances are ordered by ``(cycle, priority, seq)`` so they can live
+    directly in a binary heap.  ``fn`` is excluded from comparisons.
+    """
+
+    cycle: int
+    priority: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue drops it lazily when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic binary-heap event queue.
+
+    The queue only deals in *absolute* cycles; relative scheduling is the
+    simulator's job.  Cancelled events are dropped lazily on pop, which
+    keeps cancellation O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, cycle: int, fn: Callable[[], None],
+             priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule ``fn`` to run at absolute time ``cycle``.
+
+        Returns the :class:`Event` handle, which supports ``cancel()``.
+        """
+        if cycle < 0:
+            raise ValueError(f"cannot schedule event at negative cycle {cycle}")
+        event = Event(cycle, priority, next(self._counter), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_cycle(self) -> Optional[int]:
+        """Cycle of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].cycle
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

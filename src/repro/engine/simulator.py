@@ -1,0 +1,124 @@
+"""The simulation kernel.
+
+:class:`Simulator` owns the clock and the event queue and offers the
+scheduling API every modelled component uses.  It knows nothing about
+cores, banks or messages — those register *completion conditions* and
+*blocked-agent reporting* hooks so the kernel can distinguish a finished
+run from a deadlocked one (paper §III: LRSCwait is blocking, so a buggy
+kernel that never issues its SCwait deadlocks its successors; we detect
+and report exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .errors import DeadlockError, SimulationError
+from .events import Event, EventQueue, PRIORITY_NORMAL
+from .trace import Tracer
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with an integer cycle clock."""
+
+    def __init__(self, max_cycles: int = 100_000_000,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.now: int = 0
+        self.max_cycles = max_cycles
+        self.tracer = tracer or Tracer(enabled=False)
+        self._queue = EventQueue()
+        #: Callbacks returning a human-readable description of any agent
+        #: still blocked; consulted when the event queue drains.
+        self._blocked_reporters: list[Callable[[], list]] = []
+        self._finished = False
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[[], None],
+                 priority: int = PRIORITY_NORMAL) -> Event:
+        """Run ``fn`` ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} at cycle {self.now}")
+        return self._queue.push(self.now + delay, fn, priority)
+
+    def schedule_at(self, cycle: int, fn: Callable[[], None],
+                    priority: int = PRIORITY_NORMAL) -> Event:
+        """Run ``fn`` at absolute ``cycle`` (must not be in the past)."""
+        if cycle < self.now:
+            raise SimulationError(
+                f"cannot schedule at {cycle}, now is {self.now}")
+        return self._queue.push(cycle, fn, priority)
+
+    # -- deadlock detection hooks -------------------------------------------
+
+    def add_blocked_reporter(self, fn: Callable[[], list]) -> None:
+        """Register a callback listing agents that are still blocked.
+
+        Each callback returns a list of strings describing blocked
+        agents (empty when none).  When the event queue drains, a
+        non-empty union means deadlock.
+        """
+        self._blocked_reporters.append(fn)
+
+    def _blocked_agents(self) -> list:
+        agents: list = []
+        for reporter in self._blocked_reporters:
+            agents.extend(reporter())
+        return agents
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, until: Optional[Callable[[], bool]] = None) -> int:
+        """Drain events until done; return the final cycle.
+
+        ``until`` is an optional predicate evaluated after every event;
+        when it returns ``True`` the run stops early (used by
+        time-boxed workloads).  If the queue drains while registered
+        reporters still list blocked agents, :class:`DeadlockError` is
+        raised with the agent list — this is the §III progress-guarantee
+        failure mode made observable.
+        """
+        while True:
+            event = self._queue.pop()
+            if event is None:
+                blocked = self._blocked_agents()
+                if blocked:
+                    raise DeadlockError(
+                        "event queue drained with blocked agents: "
+                        + "; ".join(blocked))
+                self._finished = True
+                return self.now
+            if event.cycle > self.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.max_cycles} "
+                    f"(runaway simulation?)")
+            if event.cycle < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = event.cycle
+            event.fn()
+            if until is not None and until():
+                self._finished = True
+                return self.now
+
+    def run_for(self, cycles: int) -> int:
+        """Run until the clock passes ``self.now + cycles`` or events drain.
+
+        Unlike :meth:`run`, draining the queue early is *not* treated as
+        deadlock here; time-boxed workloads legitimately stop issuing
+        work.  Returns the final cycle.
+        """
+        deadline = self.now + cycles
+        while True:
+            next_cycle = self._queue.peek_cycle()
+            if next_cycle is None or next_cycle > deadline:
+                self.now = min(deadline, self.max_cycles)
+                return self.now
+            event = self._queue.pop()
+            assert event is not None
+            self.now = event.cycle
+            event.fn()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

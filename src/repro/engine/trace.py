@@ -1,0 +1,63 @@
+"""Lightweight simulation tracing.
+
+Tracing exists for debugging protocol interleavings (e.g. the Colibri
+``SuccessorUpdate`` / ``WakeUpRequest`` races argued correct in paper
+§IV-A).  It is disabled by default and costs one branch per call when
+off.  When on, records are kept in memory as tuples and can be rendered
+or filtered after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One traced occurrence."""
+
+    cycle: int
+    source: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return f"[{self.cycle:>8}] {self.source:<16} {self.kind:<20} {self.detail}"
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    enabled: bool = False
+    records: list = field(default_factory=list)
+    #: Optional whitelist of record kinds; ``None`` records everything.
+    kinds: Optional[set] = None
+
+    def log(self, cycle: int, source: str, kind: str, detail: str = "") -> None:
+        """Record one occurrence if tracing is on and the kind passes."""
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(cycle, source, kind, detail))
+
+    def filter(self, kind: Optional[str] = None,
+               source: Optional[str] = None) -> Iterable[TraceRecord]:
+        """Yield records matching the given kind and/or source prefix."""
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if source is not None and not record.source.startswith(source):
+                continue
+            yield record
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump of (up to ``limit``) records."""
+        chosen = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(record) for record in chosen)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()

@@ -1,0 +1,57 @@
+"""Evaluation harness: one runner per table and figure of the paper."""
+
+from .analysis import (
+    bank_pressure,
+    core_time_breakdown,
+    message_breakdown,
+    summarize,
+)
+from .export import export_all
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, QueuePoint, run_fig6, run_queue_point
+from .harness import (
+    FIG3_SERIES,
+    FIG4_SERIES,
+    HistogramPoint,
+    SeriesSpec,
+    TABLE2_SERIES,
+    run_histogram_point,
+    sweep_bins,
+)
+from .reporting import render_series, render_table
+from .table1 import Table1Result, run_table1, scaling_table
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "bank_pressure",
+    "core_time_breakdown",
+    "message_breakdown",
+    "summarize",
+    "export_all",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "QueuePoint",
+    "run_fig6",
+    "run_queue_point",
+    "FIG3_SERIES",
+    "FIG4_SERIES",
+    "HistogramPoint",
+    "SeriesSpec",
+    "TABLE2_SERIES",
+    "run_histogram_point",
+    "sweep_bins",
+    "render_series",
+    "render_table",
+    "Table1Result",
+    "run_table1",
+    "scaling_table",
+    "Table2Result",
+    "run_table2",
+]

@@ -1,0 +1,115 @@
+"""Post-run analysis: where did the cycles and messages go?
+
+The raw :class:`~repro.engine.stats.SimStats` counters answer *what*
+happened; this module turns them into the diagnoses a user of the
+library actually asks for:
+
+* :func:`bank_pressure` — per-bank access counts and conflict rates,
+  sorted hottest-first (is one bin/bank the bottleneck?);
+* :func:`core_time_breakdown` — system-wide active/stall/sleep split
+  (is the workload polling or sleeping?);
+* :func:`message_breakdown` — interconnect traffic by message kind
+  (how much is retries, how much is Colibri protocol overhead?);
+* :func:`summarize` — a one-page report combining all of the above.
+
+Everything is a pure function of a finished run's statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.stats import SimStats
+from .reporting import render_table
+
+#: Message kinds that exist only because of retries/polling: the LR/SC
+#: pair re-issued after failures is indistinguishable from first tries,
+#: so retry traffic is estimated from failed-SC counts instead.
+PROTOCOL_KINDS = ("successor_update", "wakeup_request")
+
+
+@dataclass
+class BankPressure:
+    """Hot-bank summary."""
+
+    bank_id: int
+    accesses: int
+    conflicts: int
+    share: float  # fraction of all bank accesses
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of this bank's requests that queued."""
+        if self.accesses == 0:
+            return 0.0
+        return self.conflicts / self.accesses
+
+
+def bank_pressure(stats: SimStats, top: int = 8) -> list:
+    """The ``top`` hottest banks, sorted by access count."""
+    total = sum(b.accesses for b in stats.banks) or 1
+    ranked = sorted(stats.banks, key=lambda b: b.accesses, reverse=True)
+    return [BankPressure(bank_id=b.bank_id, accesses=b.accesses,
+                         conflicts=b.conflicts,
+                         share=b.accesses / total)
+            for b in ranked[:top] if b.accesses > 0]
+
+
+def core_time_breakdown(stats: SimStats) -> dict:
+    """System-wide fractions of core time by state."""
+    total = (stats.total_active_cycles + stats.total_stalled_cycles
+             + stats.total_sleep_cycles) or 1
+    return {
+        "active": stats.total_active_cycles / total,
+        "stalled": stats.total_stalled_cycles / total,
+        "sleeping": stats.total_sleep_cycles / total,
+    }
+
+
+def message_breakdown(stats: SimStats) -> dict:
+    """Messages by kind, plus derived shares.
+
+    Returns a dict with ``by_kind``, ``protocol_share`` (Colibri
+    SuccessorUpdate/WakeUpRequest overhead) and ``retry_estimate``
+    (failed SC/SCwait round trips, requests + responses).
+    """
+    by_kind = dict(stats.network.messages)
+    total = sum(by_kind.values()) or 1
+    protocol = sum(by_kind.get(kind, 0) for kind in PROTOCOL_KINDS)
+    retry_messages = 4 * stats.total_sc_failures  # LR+SC req/resp pairs
+    return {
+        "by_kind": by_kind,
+        "total": total,
+        "protocol_share": protocol / total,
+        "retry_estimate": min(1.0, retry_messages / total),
+    }
+
+
+def summarize(stats: SimStats, title: str = "run summary") -> str:
+    """A one-page plain-text report of a finished run."""
+    time_split = core_time_breakdown(stats)
+    messages = message_breakdown(stats)
+    overview = render_table(
+        ["metric", "value"],
+        [
+            ("cycles", stats.cycles),
+            ("ops retired", stats.total_ops),
+            ("ops/cycle", round(stats.throughput, 4)),
+            ("SC failures", stats.total_sc_failures),
+            ("Jain fairness", round(stats.jain_fairness(), 4)),
+            ("core time active", f"{time_split['active']:.1%}"),
+            ("core time stalled", f"{time_split['stalled']:.1%}"),
+            ("core time sleeping", f"{time_split['sleeping']:.1%}"),
+            ("messages", messages["total"]),
+            ("protocol share", f"{messages['protocol_share']:.1%}"),
+            ("retry share (est.)", f"{messages['retry_estimate']:.1%}"),
+            ("ingress wait cycles", stats.network.ingress_wait_cycles),
+        ],
+        title=title)
+    hot = bank_pressure(stats, top=5)
+    hot_table = render_table(
+        ["bank", "accesses", "share", "conflict rate"],
+        [(b.bank_id, b.accesses, f"{b.share:.1%}",
+          f"{b.conflict_rate:.1%}") for b in hot],
+        title="hottest banks")
+    return overview + "\n\n" + hot_table

@@ -1,0 +1,139 @@
+"""Machine-readable export of experiment results.
+
+Reproduction artifacts should be diffable and plottable without
+re-running anything, so every experiment result can be serialized to a
+plain-JSON document with a stable schema:
+
+``{"experiment": ..., "parameters": {...}, "series"/"rows": ...}``
+
+:func:`export_all` runs the complete evaluation at a chosen scale and
+writes one JSON file per experiment plus an ``index.json`` — this is
+what EXPERIMENTS.md's numbers are generated from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+
+def fig3_to_dict(result: Fig3Result) -> dict:
+    """Schema: bins on the x axis, throughput per series."""
+    return {
+        "experiment": "fig3",
+        "parameters": {"num_cores": result.num_cores,
+                       "bins": result.bins},
+        "series": result.throughput_series(),
+        "headline": {
+            "colibri_over_lrsc_at_max_contention":
+                result.speedup_over_lrsc(result.bins[0]),
+        },
+    }
+
+
+def fig4_to_dict(result: Fig4Result) -> dict:
+    """Schema mirrors fig3 with the lock-series legend."""
+    return {
+        "experiment": "fig4",
+        "parameters": {"num_cores": result.num_cores,
+                       "bins": result.bins},
+        "series": result.throughput_series(),
+        "headline": {
+            "colibri_wins_everywhere": result.colibri_wins_everywhere(),
+        },
+    }
+
+
+def fig5_to_dict(result: Fig5Result) -> dict:
+    """Schema: relative worker throughput per poller:worker series."""
+    return {
+        "experiment": "fig5",
+        "parameters": {"num_cores": result.num_cores,
+                       "bins": result.bins},
+        "series": result.series,
+    }
+
+
+def fig6_to_dict(result: Fig6Result) -> dict:
+    """Schema: throughput and fairness per core count."""
+    return {
+        "experiment": "fig6",
+        "parameters": {"core_counts": result.core_counts},
+        "series": result.throughput_series(),
+        "fairness": result.fairness_series(),
+        "headline": {
+            "colibri_over_lrsc_at_max":
+                result.speedup(result.core_counts[-1]),
+        },
+    }
+
+
+def table1_to_dict(result: Table1Result) -> dict:
+    """Schema: one row per architecture with model and paper columns."""
+    return {
+        "experiment": "table1",
+        "rows": [
+            {"architecture": label, "model_kge": model_kge,
+             "model_percent": model_pct, "paper_kge": paper_kge,
+             "paper_percent": paper_pct}
+            for label, model_kge, model_pct, paper_kge, paper_pct
+            in result.rows
+        ],
+        "headline": {"max_relative_error": result.max_relative_error()},
+    }
+
+
+def table2_to_dict(result: Table2Result) -> dict:
+    """Schema: one row per atomic-access flavour."""
+    return {
+        "experiment": "table2",
+        "parameters": {"num_cores": result.num_cores},
+        "rows": [
+            {"access": label, "power_mw": power, "pj_per_op": pj,
+             "delta_percent": delta}
+            for label, power, pj, delta in result.rows
+        ],
+        "headline": {
+            "lrsc_over_colibri": result.ratio("LRSC"),
+            "lock_over_colibri": result.ratio("Atomic Add lock"),
+        },
+    }
+
+
+def export_all(directory: str, num_cores: int = 64,
+               fig5_cores: Optional[int] = None,
+               updates_per_core: int = 8) -> dict:
+    """Run everything and write one JSON per experiment + an index.
+
+    Returns the index dict (experiment -> file name).
+    """
+    fig5_cores = fig5_cores or max(num_cores, 128)
+    os.makedirs(directory, exist_ok=True)
+    documents = {
+        "table1": table1_to_dict(run_table1()),
+        "table2": table2_to_dict(run_table2(
+            num_cores=num_cores, updates_per_core=updates_per_core)),
+        "fig3": fig3_to_dict(run_fig3(
+            num_cores=num_cores, updates_per_core=updates_per_core)),
+        "fig4": fig4_to_dict(run_fig4(
+            num_cores=num_cores, updates_per_core=updates_per_core)),
+        "fig5": fig5_to_dict(run_fig5(num_cores=fig5_cores)),
+        "fig6": fig6_to_dict(run_fig6(max_cores=num_cores)),
+    }
+    index = {}
+    for name, document in documents.items():
+        file_name = f"{name}.json"
+        with open(os.path.join(directory, file_name), "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        index[name] = file_name
+    with open(os.path.join(directory, "index.json"), "w") as handle:
+        json.dump(index, handle, indent=2, sort_keys=True)
+    return index

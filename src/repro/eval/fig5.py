@@ -1,0 +1,99 @@
+"""Fig. 5 — matmul performance under interference from atomics.
+
+Paper setup: 256 cores partitioned into pollers (atomic histogram
+updates) and workers (matmul); poller:worker ∈ {128:128, 192:64, 248:8,
+252:4}; bins swept 1…16; y = worker throughput relative to an
+interference-free run.
+
+Expected shape (§V-B): Colibri pollers leave workers essentially
+untouched (≈1.0) even at 252:4 and 1 bin, because sleeping cores inject
+no traffic; LRSC pollers crush workers (down to ≈0.26 at 252:4)
+despite their 128-cycle backoff.
+
+On scaled systems the ratios keep the paper's *worker fractions*:
+{1/2, 1/4, 1/32, 1/64} of the cores are workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.config import SystemConfig
+from ..memory.variants import VariantSpec
+from ..workloads.interference import run_interference
+from .reporting import render_series
+
+#: Worker fractions matching the paper's 256-core ratios.
+PAPER_WORKER_FRACTIONS = (0.5, 0.25, 1 / 32, 1 / 64)
+
+#: Bin sweep of the published figure.
+FULL_BINS = [1, 4, 8, 12, 16]
+
+#: Approximate values read off the published Fig. 5 (relative worker
+#: throughput at 1 bin).
+PAPER_REFERENCE = {
+    "Colibri, 252:4": 0.99,
+    "LRSC, 128:128": 0.88,
+    "LRSC, 192:64": 0.80,
+    "LRSC, 248:8": 0.45,
+    "LRSC, 252:4": 0.26,
+}
+
+
+@dataclass
+class Fig5Result:
+    """Measured Fig. 5 series."""
+
+    num_cores: int
+    bins: list
+    series: dict  # label -> [relative throughput per bin count]
+
+    def render(self) -> str:
+        """The figure as a numeric table."""
+        return render_series(
+            "#Bins", self.bins, self.series,
+            title=(f"Fig. 5 — relative matmul throughput under "
+                   f"interference ({self.num_cores} cores)"))
+
+    def worst_case(self, label: str) -> float:
+        """Minimum relative throughput across the sweep for a series."""
+        return min(self.series[label])
+
+
+def _ratio_label(method: str, num_cores: int, num_workers: int) -> str:
+    return f"{method}, {num_cores - num_workers}:{num_workers}"
+
+
+def run_fig5(num_cores: int = 64, bins_list=None, matmul_dim: int = 12,
+             seed: int = 0) -> Fig5Result:
+    """Regenerate Fig. 5 at the given scale.
+
+    Runs Colibri at the most adversarial ratio plus LRSC at every
+    paper ratio, exactly like the published figure.
+    """
+    if bins_list is None:
+        bins_list = FULL_BINS
+    worker_counts = sorted(
+        {max(1, round(num_cores * fraction))
+         for fraction in PAPER_WORKER_FRACTIONS},
+        reverse=True)
+    config = SystemConfig.scaled(num_cores)
+    series: dict = {}
+    # Colibri at the fewest-workers (most pollers) ratio.
+    fewest = worker_counts[-1]
+    label = _ratio_label("Colibri", num_cores, fewest)
+    series[label] = [
+        run_interference(config, VariantSpec.colibri(), "wait",
+                         fewest, bins, matmul_dim, seed).relative_throughput
+        for bins in bins_list
+    ]
+    for workers in worker_counts:
+        label = _ratio_label("LRSC", num_cores, workers)
+        series[label] = [
+            run_interference(config, VariantSpec.lrsc(), "lrsc",
+                             workers, bins, matmul_dim,
+                             seed).relative_throughput
+            for bins in bins_list
+        ]
+    return Fig5Result(num_cores=num_cores, bins=list(bins_list),
+                      series=series)

@@ -1,0 +1,144 @@
+"""Fig. 6 — concurrent queue throughput and fairness vs core count.
+
+Paper setup: one shared MCS-style queue; cores swept 1…256, each core
+alternating enqueue/dequeue; y = queue accesses/cycle, with a shaded
+band from the slowest to the fastest core (fairness).  Series: Colibri
+(LRSCwait queue), Atomic Add lock (lock-based queue), LRSC.
+
+Expected shape (§V-C): Colibri sustains throughput to the full system
+(1.5×/1.48× at 8 cores, ~9× at 64 cores) and its band stays narrow;
+LRSC and the lock collapse beyond ~8 cores with a wide band (some
+cores starve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.mcs_queue import ConcurrentQueue, queue_worker_kernel
+from ..arch.config import SystemConfig
+from ..machine import Machine
+from ..memory.variants import VariantSpec
+from .reporting import render_series
+
+#: Queue method per legend label.
+SERIES_METHODS = {
+    "Colibri": ("wait", VariantSpec.colibri()),
+    "Atomic Add lock": ("lock", VariantSpec.amo()),
+    "LRSC": ("lrsc", VariantSpec.lrsc()),
+}
+
+#: Approximate published values (accesses/cycle) at 8 and 64 cores.
+PAPER_REFERENCE = {
+    "Colibri": {"8": 0.115, "64": 0.135},
+    "Atomic Add lock": {"8": 0.078, "64": 0.020},
+    "LRSC": {"8": 0.075, "64": 0.015},
+}
+
+
+@dataclass
+class QueuePoint:
+    """One (method, #cores) queue measurement.
+
+    Every core performs the same number of accesses, so fairness shows
+    in the spread of per-core *rates* (ops / own finish time): an
+    unfair scheme lets lucky cores finish long before starved ones —
+    that spread is the paper's shaded band.
+    """
+
+    label: str
+    num_cores: int
+    throughput: float
+    cycles: int
+    min_core_rate: float
+    max_core_rate: float
+    jain_fairness: float
+
+    @property
+    def fairness_band(self) -> float:
+        """max/min per-core rate (1.0 = perfectly fair)."""
+        if self.min_core_rate == 0:
+            return float("inf")
+        return self.max_core_rate / self.min_core_rate
+
+
+@dataclass
+class Fig6Result:
+    """Measured Fig. 6 series."""
+
+    core_counts: list
+    points: dict  # label -> [QueuePoint]
+
+    def throughput_series(self) -> dict:
+        """label -> [accesses/cycle] aligned with ``core_counts``."""
+        return {label: [p.throughput for p in pts]
+                for label, pts in self.points.items()}
+
+    def fairness_series(self) -> dict:
+        """label -> [Jain index] aligned with ``core_counts``."""
+        return {label: [p.jain_fairness for p in pts]
+                for label, pts in self.points.items()}
+
+    def speedup(self, num_cores: int, over: str = "LRSC") -> float:
+        """Colibri speedup over a baseline at one core count."""
+        index = self.core_counts.index(num_cores)
+        colibri = self.points["Colibri"][index].throughput
+        base = self.points[over][index].throughput
+        return colibri / base if base else float("inf")
+
+    def render(self) -> str:
+        """Throughput and fairness tables."""
+        throughput = render_series(
+            "#Cores", self.core_counts, self.throughput_series(),
+            title="Fig. 6 — queue accesses/cycle")
+        fairness = render_series(
+            "#Cores", self.core_counts, self.fairness_series(),
+            title="Fig. 6 (band) — Jain fairness of per-core ops")
+        return throughput + "\n\n" + fairness
+
+
+def run_queue_point(label: str, system_cores: int, active_cores: int,
+                    ops_per_core: int, seed: int = 0) -> QueuePoint:
+    """One queue measurement: ``active_cores`` of ``system_cores`` work."""
+    method, variant = SERIES_METHODS[label]
+    config = SystemConfig.scaled(system_cores)
+    machine = Machine(config, variant, seed=seed)
+    queue = ConcurrentQueue(machine, method,
+                            nodes_per_core=ops_per_core // 2 + 2)
+    machine.load_range(
+        range(active_cores),
+        lambda api: queue_worker_kernel(queue, api, ops_per_core))
+    stats = machine.run()
+    rates = []
+    for core_id in range(active_cores):
+        finish = machine.cores[core_id].finish_cycle or stats.cycles
+        rates.append(stats.cores[core_id].ops_completed / max(1, finish))
+    total = sum(rates)
+    jain = (total * total / (len(rates) * sum(r * r for r in rates))
+            if total else 1.0)
+    return QueuePoint(
+        label=label,
+        num_cores=active_cores,
+        throughput=stats.throughput,
+        cycles=stats.cycles,
+        min_core_rate=min(rates),
+        max_core_rate=max(rates),
+        jain_fairness=jain)
+
+
+def run_fig6(max_cores: int = 64, core_counts=None, ops_per_core: int = 16,
+             seed: int = 0) -> Fig6Result:
+    """Regenerate Fig. 6 at the given scale.
+
+    The *system* stays at ``max_cores`` (bank count fixed) while the
+    number of cores using the queue sweeps, as in the paper.
+    """
+    if core_counts is None:
+        core_counts = [c for c in (1, 2, 4, 8, 16, 32, 64, 128, 256)
+                       if c <= max_cores]
+    points: dict = {label: [] for label in SERIES_METHODS}
+    for label in SERIES_METHODS:
+        for active in core_counts:
+            points[label].append(run_queue_point(
+                label, max_cores, active, ops_per_core, seed=seed))
+    return Fig6Result(core_counts=list(core_counts), points=points)

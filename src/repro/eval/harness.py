@@ -1,0 +1,162 @@
+"""Shared experiment runners.
+
+The histogram experiments (Figs. 3 and 4, Table II) all run the same
+workload with different (variant, update-method, lock) combinations;
+:data:`SERIES` names each combination exactly as the paper's legends
+do, and :func:`run_histogram_point` produces one measured point with
+throughput, traffic and energy attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algorithms.histogram import Histogram
+from ..arch.config import SystemConfig
+from ..machine import Machine
+from ..memory.variants import VariantSpec
+from ..power.energy import EnergyModel, EnergyReport
+from ..sync.backoff import FixedBackoff
+from ..sync.locks import (
+    AmoSpinLock,
+    ColibriSpinLock,
+    LrscSpinLock,
+    MwaitMcsLock,
+)
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One legend entry: hardware variant + software update scheme."""
+
+    label: str
+    variant_kind: str          # "amo" | "lrsc" | "lrscwait" | "colibri"
+    method: str                # "amo" | "lrsc" | "wait" | "lock"
+    lock: Optional[str] = None  # "amo" | "lrsc" | "colibri" | "mcs"
+    #: For lrscwait: queue slots; None = ideal, "half" = num_cores // 2.
+    queue_slots: Optional[object] = None
+
+    def variant(self, num_cores: int) -> VariantSpec:
+        """Materialize the hardware variant for a system size."""
+        if self.variant_kind == "lrscwait":
+            slots = self.queue_slots
+            if slots == "half":
+                slots = max(1, num_cores // 2)
+            if slots is None:
+                return VariantSpec.lrscwait_ideal()
+            return VariantSpec.lrscwait(int(slots))
+        if self.variant_kind == "colibri":
+            return VariantSpec.colibri()
+        if self.variant_kind == "lrsc":
+            return VariantSpec.lrsc()
+        return VariantSpec.amo()
+
+    def lock_class(self):
+        """The lock implementation for ``method == "lock"`` series."""
+        return {
+            "amo": AmoSpinLock,
+            "lrsc": LrscSpinLock,
+            "colibri": ColibriSpinLock,
+            "mcs": MwaitMcsLock,
+        }[self.lock]
+
+
+#: Fig. 3 legend (generic RMW primitives).
+FIG3_SERIES = [
+    SeriesSpec("Atomic Add", "amo", "amo"),
+    SeriesSpec("LRSCwait_ideal", "lrscwait", "wait", queue_slots=None),
+    SeriesSpec("LRSCwait_half", "lrscwait", "wait", queue_slots="half"),
+    SeriesSpec("LRSCwait_1", "lrscwait", "wait", queue_slots=1),
+    SeriesSpec("Colibri", "colibri", "wait"),
+    SeriesSpec("LRSC", "lrsc", "lrsc"),
+]
+
+#: Fig. 4 legend (lock-based schemes vs. generic RMW).
+FIG4_SERIES = [
+    SeriesSpec("Colibri", "colibri", "wait"),
+    SeriesSpec("Colibri lock", "colibri", "lock", lock="colibri"),
+    SeriesSpec("Mwait lock", "colibri", "lock", lock="mcs"),
+    SeriesSpec("LRSC", "lrsc", "lrsc"),
+    SeriesSpec("LRSC lock", "lrsc", "lock", lock="lrsc"),
+    SeriesSpec("Atomic Add lock", "amo", "lock", lock="amo"),
+]
+
+#: Table II rows (histogram at maximum contention).
+TABLE2_SERIES = [
+    SeriesSpec("Atomic Add", "amo", "amo"),
+    SeriesSpec("Colibri", "colibri", "wait"),
+    SeriesSpec("LRSC", "lrsc", "lrsc"),
+    SeriesSpec("Atomic Add lock", "amo", "lock", lock="amo"),
+]
+
+
+@dataclass
+class HistogramPoint:
+    """One measured (series, #bins) histogram point."""
+
+    label: str
+    num_cores: int
+    num_bins: int
+    updates_per_core: int
+    cycles: int
+    throughput: float
+    sc_failures: int
+    wait_rejections: int
+    sleep_cycles: int
+    active_cycles: int
+    messages: int
+    energy: EnergyReport
+
+    @property
+    def pj_per_op(self) -> float:
+        """Energy per histogram update."""
+        return self.energy.pj_per_op
+
+
+def run_histogram_point(series: SeriesSpec, num_cores: int, num_bins: int,
+                        updates_per_core: int, seed: int = 0,
+                        lock_backoff_window: int = 128) -> HistogramPoint:
+    """Run one histogram configuration to completion and verify it."""
+    config = SystemConfig.scaled(num_cores)
+    machine = Machine(config, series.variant(num_cores), seed=seed)
+    histogram = Histogram(machine, num_bins)
+    if series.method == "lock":
+        lock_cls = series.lock_class()
+        if lock_cls is MwaitMcsLock:
+            histogram.attach_locks(lock_cls)
+        else:
+            histogram.attach_locks(
+                lock_cls, backoff=FixedBackoff(lock_backoff_window))
+    machine.load_all(histogram.kernel_factory(
+        "lock" if series.method == "lock" else series.method,
+        updates_per_core))
+    stats = machine.run()
+    histogram.verify(num_cores * updates_per_core)
+    energy = EnergyModel().evaluate(stats)
+    return HistogramPoint(
+        label=series.label,
+        num_cores=num_cores,
+        num_bins=num_bins,
+        updates_per_core=updates_per_core,
+        cycles=stats.cycles,
+        throughput=stats.throughput,
+        sc_failures=stats.total_sc_failures,
+        wait_rejections=sum(c.wait_rejections for c in stats.cores),
+        sleep_cycles=stats.total_sleep_cycles,
+        active_cycles=stats.total_active_cycles,
+        messages=stats.network.total_messages,
+        energy=energy)
+
+
+def sweep_bins(series_list, num_cores: int, bins_list, updates_per_core: int,
+               seed: int = 0) -> dict:
+    """Run a bin sweep for every series; returns label -> [points]."""
+    results: dict = {}
+    for series in series_list:
+        points = []
+        for num_bins in bins_list:
+            points.append(run_histogram_point(
+                series, num_cores, num_bins, updates_per_core, seed=seed))
+        results[series.label] = points
+    return results

@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment results.
+
+Every experiment runner produces structured results; these helpers turn
+them into aligned plain-text tables and series plots suitable for a
+terminal, a log file, or EXPERIMENTS.md.  No plotting dependencies: the
+"figures" are printed as the numeric series the paper's plots encode,
+which is what reproduction comparisons actually need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Monospace table with a header rule."""
+    cells = [[format_value(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, x_values: Sequence,
+                  series: dict, title: Optional[str] = None,
+                  precision: int = 4) -> str:
+    """A figure as a table: one x column, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_ratio_line(label: str, numerator: float,
+                      denominator: float) -> str:
+    """One-line speedup statement, e.g. for headline claims."""
+    if denominator == 0:
+        return f"{label}: n/a"
+    return f"{label}: {numerator / denominator:.2f}x"

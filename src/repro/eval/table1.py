@@ -1,0 +1,69 @@
+"""Table I — area of a ``mempool_tile`` with each hardware option.
+
+The analytic model (:mod:`repro.power.area`) is evaluated for every
+published row and compared against the paper's kGE numbers, plus the
+scaling extrapolation that motivates Colibri: the per-core queue of
+LRSCwait_ideal grows quadratically at system level, Colibri linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power.area import (
+    PAPER_TABLE1,
+    base_tile,
+    colibri_tile,
+    lrscwait_tile,
+    system_overhead_kge,
+    table1_rows,
+)
+from .reporting import render_table
+
+
+@dataclass
+class Table1Result:
+    """Model rows alongside the published numbers."""
+
+    rows: list  # (label, model kGE, model %, paper kGE, paper %)
+
+    def max_relative_error(self) -> float:
+        """Worst |model - paper| / paper over all rows."""
+        worst = 0.0
+        for _label, model_kge, _mp, paper_kge, _pp in self.rows:
+            worst = max(worst, abs(model_kge - paper_kge) / paper_kge)
+        return worst
+
+    def render(self) -> str:
+        """Table I with model-vs-paper columns."""
+        return render_table(
+            ["Architecture", "model kGE", "model %", "paper kGE",
+             "paper %"],
+            self.rows,
+            title="Table I — mempool_tile area")
+
+
+def run_table1() -> Table1Result:
+    """Evaluate the area model for every published row."""
+    rows = []
+    for tile in table1_rows():
+        paper_kge, paper_pct = PAPER_TABLE1[tile.label]
+        rows.append((tile.label, round(tile.kge, 1),
+                     round(tile.percent, 1), paper_kge, paper_pct))
+    return Table1Result(rows=rows)
+
+
+def scaling_table(core_counts=(16, 64, 256, 1024)) -> str:
+    """The §III-A scaling argument as numbers: total added kGE."""
+    rows = []
+    for cores in core_counts:
+        rows.append((
+            cores,
+            round(system_overhead_kge(cores, "lrscwait_ideal"), 0),
+            round(system_overhead_kge(cores, "lrscwait", queue_slots=8), 0),
+            round(system_overhead_kge(cores, "colibri", num_addresses=4), 0),
+        ))
+    return render_table(
+        ["#Cores", "ideal queue kGE", "LRSCwait_8 kGE", "Colibri_4 kGE"],
+        rows,
+        title="System-level added area (O(n^2) vs O(n))")

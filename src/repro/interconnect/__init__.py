@@ -1,0 +1,27 @@
+"""Interconnect: message types and the hierarchical network model."""
+
+from .messages import (
+    AMO_OPS,
+    MemRequest,
+    MemResponse,
+    Op,
+    Status,
+    SuccessorUpdate,
+    WAIT_OPS,
+    WakeUpRequest,
+    WRITE_OPS,
+)
+from .network import Network
+
+__all__ = [
+    "AMO_OPS",
+    "MemRequest",
+    "MemResponse",
+    "Op",
+    "Status",
+    "SuccessorUpdate",
+    "WAIT_OPS",
+    "WakeUpRequest",
+    "WRITE_OPS",
+    "Network",
+]

@@ -1,0 +1,159 @@
+"""The hierarchical interconnect model.
+
+The network delivers messages between cores (and their Qnodes) and bank
+controllers with a fixed one-way latency per distance class (local tile
+/ same group / remote group), mirroring MemPool's hierarchical crossbar.
+
+Two properties matter for correctness and fidelity:
+
+* **Per-channel FIFO.** All messages between a given (core, bank) pair
+  experience identical latency and the event queue preserves insertion
+  order for same-cycle events, so delivery order equals send order.
+  Colibri's correctness argument (paper §IV-A: a ``WakeUpRequest``
+  following an SCwait through the same path cannot overtake it) relies
+  on exactly this AXI-like ordering, which the test-suite asserts.
+* **Contention lives at the bank port, not in the links.** MemPool's
+  crossbars are non-blocking; the serialization the paper measures
+  happens where requests converge on a single bank.  The request path
+  therefore has constant latency here, and queueing is modelled by the
+  bank port scheduler (:mod:`repro.memory.controller`).
+
+Every delivery is counted in :class:`~repro.engine.stats.NetworkStats`
+(message kind + hops), which feeds the Table II energy model: the
+polling/retry traffic of LRSC-based schemes shows up directly in these
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..arch.topology import Topology
+from ..engine.simulator import Simulator
+from ..engine.stats import NetworkStats
+from .messages import MemRequest, MemResponse, SuccessorUpdate, WakeUpRequest
+
+
+class ThrottledPort:
+    """A shared port accepting ``per_cycle`` messages per cycle.
+
+    Arrivals beyond the budget of a cycle spill into following cycles
+    in FIFO order; the returned slot is the cycle the message actually
+    passes the port.  This is a busy-until token scheme, cheap enough
+    to sit on every delivery.
+    """
+
+    def __init__(self, per_cycle: int) -> None:
+        self.per_cycle = per_cycle
+        self._cycle = -1
+        self._used = 0
+
+    def next_slot(self, arrival: int) -> int:
+        """FIFO slot assignment for a message arriving at ``arrival``."""
+        if arrival > self._cycle:
+            self._cycle = arrival
+            self._used = 1
+            return arrival
+        if self._used < self.per_cycle:
+            self._used += 1
+            return self._cycle
+        self._cycle += 1
+        self._used = 1
+        return self._cycle
+
+
+class Network:
+    """Latency-accurate message delivery between cores and banks."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 stats: NetworkStats) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.stats = stats
+        config = topology.config
+        #: Shared remote-request ingress, one per tile (see
+        #: LatencyConfig.tile_ingress_per_cycle).
+        self._tile_ingress = [
+            ThrottledPort(config.latency.tile_ingress_per_cycle)
+            for _ in range(config.num_tiles)
+        ]
+        #: bank_id -> callable(MemRequest | WakeUpRequest)
+        self._bank_handlers: dict = {}
+        #: core_id -> callable(MemResponse)
+        self._core_handlers: dict = {}
+        #: core_id -> callable(SuccessorUpdate)  (the Qnode input port)
+        self._qnode_handlers: dict = {}
+
+    # -- endpoint registration ------------------------------------------------
+
+    def register_bank(self, bank_id: int,
+                      handler: Callable[[object], None]) -> None:
+        """Attach the request-input handler of a bank controller."""
+        self._bank_handlers[bank_id] = handler
+
+    def register_core(self, core_id: int,
+                      handler: Callable[[MemResponse], None]) -> None:
+        """Attach the response-input handler of a core."""
+        self._core_handlers[core_id] = handler
+
+    def register_qnode(self, core_id: int,
+                       handler: Callable[[SuccessorUpdate], None]) -> None:
+        """Attach the SuccessorUpdate input of a core's Qnode."""
+        self._qnode_handlers[core_id] = handler
+
+    # -- sends -------------------------------------------------------------------
+
+    def _request_delivery_cycle(self, core_id: int, bank_id: int) -> int:
+        """Arrival cycle of a request, including tile-ingress queueing.
+
+        Remote requests (from outside the bank's tile) pass the target
+        tile's shared ingress port; a saturated port delays them — and
+        every other remote request to that tile — in FIFO order.  This
+        models the interconnect stage where atomics' retry storms
+        interfere with unrelated traffic (Fig. 5).
+        """
+        latency = self.topology.latency(core_id, bank_id)
+        arrival = self.sim.now + latency
+        if self.topology.distance_class(core_id, bank_id) == "local":
+            return arrival
+        tile = self.topology.tile_of_bank(bank_id)
+        slot = self._tile_ingress[tile].next_slot(arrival)
+        self.stats.ingress_wait_cycles += slot - arrival
+        return slot
+
+    def send_request(self, req: MemRequest, bank_id: int) -> None:
+        """Core → bank: deliver a memory request after the route latency."""
+        hops = self.topology.hop_count(req.core_id, bank_id)
+        self.stats.count_message(req.op.value, hops)
+        delivery = self._request_delivery_cycle(req.core_id, bank_id)
+        handler = self._bank_handlers[bank_id]
+        self.sim.schedule_at(delivery, lambda: handler(req))
+
+    def send_response(self, resp: MemResponse, bank_id: int) -> None:
+        """Bank → core: deliver a response after the route latency."""
+        latency = self.topology.latency(resp.core_id, bank_id)
+        hops = self.topology.hop_count(resp.core_id, bank_id)
+        self.stats.count_message("resp_" + resp.op.value, hops)
+        handler = self._core_handlers[resp.core_id]
+        self.sim.schedule(latency, lambda: handler(resp))
+
+    def send_successor_update(self, msg: SuccessorUpdate) -> None:
+        """Bank → Qnode: Colibri enqueue-link message."""
+        latency = self.topology.latency(msg.prev_core, msg.bank_id)
+        hops = self.topology.hop_count(msg.prev_core, msg.bank_id)
+        self.stats.count_message("successor_update", hops)
+        handler = self._qnode_handlers[msg.prev_core]
+        self.sim.schedule(latency, lambda: handler(msg))
+
+    def send_wakeup(self, msg: WakeUpRequest) -> None:
+        """Qnode → bank: Colibri dequeue/wake message.
+
+        WakeUpRequests travel the request path, so they share the tile
+        ingress with ordinary requests (and stay FIFO behind the same
+        core's SCwait, which was sent earlier at equal latency).
+        """
+        hops = self.topology.hop_count(msg.from_core, msg.bank_id)
+        self.stats.count_message("wakeup_request", hops)
+        delivery = self._request_delivery_cycle(msg.from_core, msg.bank_id)
+        handler = self._bank_handlers[msg.bank_id]
+        self.sim.schedule_at(delivery, lambda: handler(msg))

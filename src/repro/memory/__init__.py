@@ -1,0 +1,25 @@
+"""Memory subsystem: banks, port controllers, and atomic-unit variants."""
+
+from .adapter import AmoAdapter, AtomicAdapter
+from .bank import SpmBank
+from .colibri import ColibriAdapter
+from .controller import BankController, build_adapter
+from .lrsc import LrscAdapter
+from .lrsc_variants import LrscBankAdapter, LrscTableAdapter
+from .lrscwait import LrscWaitAdapter
+from .variants import VARIANT_KINDS, VariantSpec
+
+__all__ = [
+    "AmoAdapter",
+    "AtomicAdapter",
+    "SpmBank",
+    "ColibriAdapter",
+    "BankController",
+    "build_adapter",
+    "LrscAdapter",
+    "LrscBankAdapter",
+    "LrscTableAdapter",
+    "LrscWaitAdapter",
+    "VARIANT_KINDS",
+    "VariantSpec",
+]

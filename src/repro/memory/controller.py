@@ -1,0 +1,151 @@
+"""Bank controller: the single port in front of each SPM bank.
+
+Contention in a multi-banked SPM system materializes here: the bank
+accepts **one request per cycle**.  Requests (and Colibri
+WakeUpRequests) arriving while the port is busy queue up in arrival
+order; the waiting time they accumulate is exactly the serialization
+the paper's histogram experiment measures when many cores hit one bin.
+
+The controller owns the storage and the variant adapter and offers the
+small service interface the adapters run against: ``read``/``write`` on
+byte addresses, ``respond`` and Colibri's ``send_successor_update``.
+"""
+
+from __future__ import annotations
+
+from ..arch.address_map import AddressMap
+from ..engine.simulator import Simulator
+from ..engine.stats import BankStats
+from ..interconnect.messages import (
+    MemRequest,
+    MemResponse,
+    Status,
+    SuccessorUpdate,
+    WakeUpRequest,
+)
+from ..interconnect.network import Network
+from .adapter import AmoAdapter, AtomicAdapter
+from .bank import SpmBank
+from .colibri import ColibriAdapter
+from .lrsc import LrscAdapter
+from .lrsc_variants import LrscBankAdapter, LrscTableAdapter
+from .lrscwait import LrscWaitAdapter
+from .variants import VariantSpec
+
+
+def build_adapter(controller: "BankController", variant: VariantSpec,
+                  num_cores: int, strict: bool) -> AtomicAdapter:
+    """Instantiate the adapter matching a :class:`VariantSpec`."""
+    if variant.kind == "amo":
+        return AmoAdapter(controller)
+    if variant.kind == "lrsc":
+        return LrscAdapter(controller)
+    if variant.kind == "lrsc_table":
+        return LrscTableAdapter(controller)
+    if variant.kind == "lrsc_bank":
+        return LrscBankAdapter(controller)
+    if variant.kind == "lrscwait":
+        slots = variant.queue_slots
+        if slots is None:
+            slots = num_cores  # ideal: one slot per core can never fill
+        return LrscWaitAdapter(controller, queue_slots=slots, strict=strict)
+    if variant.kind == "colibri":
+        return ColibriAdapter(controller, num_addresses=variant.num_addresses,
+                              strict=strict)
+    raise AssertionError(f"unhandled variant {variant.kind}")
+
+
+class BankController:
+    """One SPM bank, its port scheduler, and its atomic adapter."""
+
+    def __init__(self, bank_id: int, sim: Simulator, network: Network,
+                 address_map: AddressMap, variant: VariantSpec,
+                 num_cores: int, stats: BankStats,
+                 strict: bool = True) -> None:
+        self.bank_id = bank_id
+        self.sim = sim
+        self.network = network
+        self.address_map = address_map
+        self.stats = stats
+        self.bank = SpmBank(bank_id, address_map.words_per_bank,
+                            address_map.word_bytes)
+        self.adapter = build_adapter(self, variant, num_cores, strict)
+        self.service_cycles = address_map.config.latency.bank_cycles
+        #: First cycle at which the port can accept the next request.
+        self._port_free_at = 0
+        network.register_bank(bank_id, self.receive)
+
+    # -- port scheduling -------------------------------------------------------
+
+    def receive(self, msg) -> None:
+        """Network delivery: schedule the message into the port pipeline."""
+        now = self.sim.now
+        start = max(now, self._port_free_at)
+        if start > now:
+            self.stats.conflicts += 1
+        self._port_free_at = start + self.service_cycles
+        self.stats.busy_cycles += self.service_cycles
+        if start == now:
+            self._service(msg)
+        else:
+            self.sim.schedule_at(start, lambda: self._service(msg))
+
+    def _service(self, msg) -> None:
+        self.stats.accesses += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            if isinstance(msg, WakeUpRequest):
+                tracer.log(self.sim.now, f"bank{self.bank_id}",
+                           "wakeup_request",
+                           f"from core {msg.from_core} "
+                           f"successor {msg.successor} @0x{msg.addr:x}")
+            else:
+                tracer.log(self.sim.now, f"bank{self.bank_id}",
+                           msg.op.value,
+                           f"core {msg.core_id} @0x{msg.addr:x}")
+        if isinstance(msg, WakeUpRequest):
+            self.adapter.handle_wakeup(msg)
+        else:
+            self.adapter.handle(msg)
+
+    def trace(self, kind: str, detail: str = "") -> None:
+        """Adapter-visible tracing hook (protocol transitions)."""
+        self.sim.tracer.log(self.sim.now, f"bank{self.bank_id}", kind,
+                            detail)
+
+    # -- adapter service interface -------------------------------------------------
+
+    def read(self, addr: int) -> int:
+        """Load the word at a byte address (must map to this bank)."""
+        bank, row = self.address_map.locate(addr)
+        assert bank == self.bank_id, "request routed to wrong bank"
+        return self.bank.read(row)
+
+    def write(self, addr: int, value: int) -> None:
+        """Store a word at a byte address (must map to this bank)."""
+        bank, row = self.address_map.locate(addr)
+        assert bank == self.bank_id, "request routed to wrong bank"
+        self.bank.write(row, value)
+
+    def respond(self, req: MemRequest, value: int = 0,
+                status: Status = Status.OK,
+                successor_pending: bool = False) -> None:
+        """Send a response for ``req`` back through the network."""
+        self.network.send_response(MemResponse(
+            op=req.op, core_id=req.core_id, addr=req.addr, value=value,
+            status=status, req_id=req.req_id,
+            successor_pending=successor_pending), self.bank_id)
+
+    def send_successor_update(self, msg: SuccessorUpdate) -> None:
+        """Forward a Colibri enqueue-link message to a Qnode."""
+        self.network.send_successor_update(msg)
+
+    # -- debug/test access ----------------------------------------------------------
+
+    def peek(self, addr: int) -> int:
+        """Read memory without simulating an access (test setup)."""
+        return self.read(addr)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write memory without simulating an access (test setup)."""
+        self.write(addr, value)

@@ -1,0 +1,114 @@
+"""Atomic-unit variant specifications.
+
+One :class:`VariantSpec` selects which reservation machinery sits in
+front of every SPM bank.  The four kinds map to the architectures of
+the paper's Fig. 1:
+
+* ``"amo"`` — only the RV32A single-instruction atomics (the paper's
+  *Atomic Add* roofline); LR/SC and wait ops are unsupported.
+* ``"lrsc"`` — MemPool's lightweight LR/SC: a **single reservation
+  slot per bank**, stolen by any newer LR (paper §II).  Retry-prone
+  under contention.
+* ``"lrscwait"`` — the centralized reservation queue of §III-A/B with
+  ``queue_slots`` entries per bank; ``queue_slots=None`` means one slot
+  per core, i.e. LRSCwait\\ :sub:`ideal`.
+* ``"colibri"`` — the distributed linked-list implementation of §IV
+  with ``num_addresses`` head/tail register pairs per controller.
+
+Every kind also services plain loads, stores and AMOs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.errors import ConfigError
+
+VARIANT_KINDS = ("amo", "lrsc", "lrsc_table", "lrsc_bank",
+                 "lrscwait", "colibri")
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """Which atomic adapter guards each memory bank."""
+
+    kind: str
+    #: lrscwait: reservation-queue capacity per bank (None = #cores).
+    queue_slots: Optional[int] = None
+    #: colibri: head/tail register pairs (tracked addresses) per bank.
+    num_addresses: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in VARIANT_KINDS:
+            raise ConfigError(f"unknown variant kind {self.kind!r}")
+        if self.queue_slots is not None and self.queue_slots < 1:
+            raise ConfigError("queue_slots must be >= 1")
+        if self.num_addresses < 1:
+            raise ConfigError("num_addresses must be >= 1")
+
+    # -- factories ------------------------------------------------------------
+
+    @classmethod
+    def amo(cls) -> "VariantSpec":
+        """Plain RV32A atomics only."""
+        return cls(kind="amo")
+
+    @classmethod
+    def lrsc(cls) -> "VariantSpec":
+        """MemPool-style single-slot LR/SC."""
+        return cls(kind="lrsc")
+
+    @classmethod
+    def lrsc_table(cls) -> "VariantSpec":
+        """ATUN-style per-core reservation table (§II related work)."""
+        return cls(kind="lrsc_table")
+
+    @classmethod
+    def lrsc_bank(cls) -> "VariantSpec":
+        """GRVI-style bank-granularity reservations (§II related work)."""
+        return cls(kind="lrsc_bank")
+
+    @classmethod
+    def lrscwait(cls, queue_slots: int) -> "VariantSpec":
+        """Centralized LRSCwait with a ``queue_slots``-entry queue."""
+        return cls(kind="lrscwait", queue_slots=queue_slots)
+
+    @classmethod
+    def lrscwait_ideal(cls) -> "VariantSpec":
+        """LRSCwait with one queue slot per core (physically infeasible
+        at MemPool scale, the paper's upper bound)."""
+        return cls(kind="lrscwait", queue_slots=None)
+
+    @classmethod
+    def colibri(cls, num_addresses: int = 4) -> "VariantSpec":
+        """Distributed Colibri queue with ``num_addresses`` queues/bank."""
+        return cls(kind="colibri", num_addresses=num_addresses)
+
+    # -- capability queries ------------------------------------------------------
+
+    @property
+    def supports_lrsc(self) -> bool:
+        """True when plain LR/SC are legal on this variant."""
+        return self.kind in ("lrsc", "lrsc_table", "lrsc_bank")
+
+    @property
+    def supports_wait(self) -> bool:
+        """True when LRwait/SCwait/Mwait are legal on this variant."""
+        return self.kind in ("lrscwait", "colibri")
+
+    def label(self) -> str:
+        """Short human-readable name used in result tables."""
+        if self.kind == "lrscwait":
+            if self.queue_slots is None:
+                return "LRSCwait_ideal"
+            return f"LRSCwait_{self.queue_slots}"
+        if self.kind == "colibri":
+            return "Colibri"
+        if self.kind == "lrsc":
+            return "LRSC"
+        if self.kind == "lrsc_table":
+            return "LRSC_table"
+        if self.kind == "lrsc_bank":
+            return "LRSC_bank"
+        return "AtomicAdd"

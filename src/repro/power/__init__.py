@@ -1,0 +1,27 @@
+"""Energy (Table II) and area (Table I) models."""
+
+from .area import (
+    PAPER_TABLE1,
+    TILE_BASE_KGE,
+    TileArea,
+    base_tile,
+    colibri_tile,
+    lrscwait_tile,
+    system_overhead_kge,
+    table1_rows,
+)
+from .energy import EnergyCoefficients, EnergyModel, EnergyReport
+
+__all__ = [
+    "PAPER_TABLE1",
+    "TILE_BASE_KGE",
+    "TileArea",
+    "base_tile",
+    "colibri_tile",
+    "lrscwait_tile",
+    "system_overhead_kge",
+    "table1_rows",
+    "EnergyCoefficients",
+    "EnergyModel",
+    "EnergyReport",
+]

@@ -1,0 +1,107 @@
+"""Event-based energy model (reproduces Table II).
+
+The paper measures power from post-layout gate-level simulation in
+GF 22FDX at TT/0.80 V/25 °C, 600 MHz.  We cannot synthesize gates, but
+the *differences* Table II reports are driven by event counts the
+behavioural simulator produces exactly: retry traffic, polling cycles
+vs. sleep cycles, bank accesses and network hops.  The model therefore
+prices each event class with a coefficient and sums:
+
+``E = Σ_core (active·e_act + stall·e_stall + sleep·e_sleep)
+    + accesses·e_bank + hops·e_hop``
+
+Coefficient calibration (documented so it can be audited):
+
+* A MemPool tile in 22FDX runs ~175 mW at 600 MHz for the Atomic Add
+  workload (Table II) over 256 cores ⇒ ≈ 1.1 pJ per core-cycle overall.
+  We split that into an active-core share (``e_active = 0.9 pJ``,
+  Snitch-class core + local icache activity) and infrastructure shares
+  folded into the bank/hop prices.
+* An SRAM access of a small 1 KiB bank in 22FDX costs single-digit pJ
+  (``e_bank = 6 pJ``); a hierarchical-crossbar stage toggles roughly
+  ``e_hop = 1.5 pJ`` per word-wide message per stage.
+* A clock-gated sleeping core leaks ~5 % of its active power
+  (``e_sleep = 0.05 pJ``); a stalled-but-clocked core waiting on a
+  response burns ~30 % (``e_stall = 0.3 pJ``).
+
+Absolute pJ/op numbers land in the right decade; the Table II *ratios*
+(LRSC ≈ 7× Colibri, AMO-lock ≈ 9× Colibri) emerge from simulated
+behaviour, not from the coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.stats import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event energy prices in picojoules."""
+
+    active_cycle_pj: float = 0.9
+    stall_cycle_pj: float = 0.3
+    sleep_cycle_pj: float = 0.05
+    bank_access_pj: float = 6.0
+    hop_pj: float = 1.5
+
+    @classmethod
+    def gf22fdx(cls) -> "EnergyCoefficients":
+        """The calibrated default (see module docstring)."""
+        return cls()
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one simulation run."""
+
+    total_pj: float
+    core_pj: float
+    bank_pj: float
+    network_pj: float
+    ops: int
+    cycles: int
+    num_cores: int
+
+    @property
+    def pj_per_op(self) -> float:
+        """Energy per retired application operation (Table II column)."""
+        if self.ops == 0:
+            return float("inf")
+        return self.total_pj / self.ops
+
+    def power_mw(self, freq_hz: float = 600e6) -> float:
+        """Average power at the given clock (Table II's Power column)."""
+        if self.cycles == 0:
+            return 0.0
+        seconds = self.cycles / freq_hz
+        return self.total_pj * 1e-12 / seconds * 1e3
+
+    def relative_to(self, baseline: "EnergyReport") -> float:
+        """Δ column of Table II: energy/op vs. a baseline (1.0 = equal)."""
+        return self.pj_per_op / baseline.pj_per_op
+
+
+class EnergyModel:
+    """Applies :class:`EnergyCoefficients` to a run's statistics."""
+
+    def __init__(self, coefficients: EnergyCoefficients = None) -> None:
+        self.coefficients = coefficients or EnergyCoefficients.gf22fdx()
+
+    def evaluate(self, stats: SimStats) -> EnergyReport:
+        """Compute the energy breakdown of a finished run."""
+        coeff = self.coefficients
+        core_pj = (stats.total_active_cycles * coeff.active_cycle_pj
+                   + stats.total_stalled_cycles * coeff.stall_cycle_pj
+                   + stats.total_sleep_cycles * coeff.sleep_cycle_pj)
+        bank_pj = sum(b.accesses for b in stats.banks) * coeff.bank_access_pj
+        network_pj = stats.network.hops * coeff.hop_pj
+        return EnergyReport(
+            total_pj=core_pj + bank_pj + network_pj,
+            core_pj=core_pj,
+            bank_pj=bank_pj,
+            network_pj=network_pj,
+            ops=stats.total_ops,
+            cycles=stats.cycles,
+            num_cores=len(stats.cores))

@@ -1,0 +1,42 @@
+"""Software synchronization library running on the simulated cores."""
+
+from .backoff import (
+    DEFAULT_LRSC_BACKOFF,
+    ExponentialBackoff,
+    FixedBackoff,
+    NoBackoff,
+    PAPER_LOCK_BACKOFF,
+    QUEUE_FULL_BACKOFF,
+)
+from .barrier import CentralBarrier
+from .locks import (
+    AmoSpinLock,
+    ColibriSpinLock,
+    LOCKED,
+    LrscSpinLock,
+    MwaitMcsLock,
+    TicketLock,
+    UNLOCKED,
+)
+from .rmw import amo_fetch_add, fetch_add, lrsc_fetch_modify, wait_fetch_modify
+
+__all__ = [
+    "DEFAULT_LRSC_BACKOFF",
+    "ExponentialBackoff",
+    "FixedBackoff",
+    "NoBackoff",
+    "PAPER_LOCK_BACKOFF",
+    "QUEUE_FULL_BACKOFF",
+    "CentralBarrier",
+    "AmoSpinLock",
+    "ColibriSpinLock",
+    "LOCKED",
+    "LrscSpinLock",
+    "MwaitMcsLock",
+    "TicketLock",
+    "UNLOCKED",
+    "amo_fetch_add",
+    "fetch_add",
+    "lrsc_fetch_modify",
+    "wait_fetch_modify",
+]

@@ -1,0 +1,65 @@
+"""Backoff policies for retry loops.
+
+Retry-based primitives (plain LR/SC and every spin lock) need a policy
+for how long to wait after a failed attempt.  The paper's related-work
+section discusses exactly this: "Existing backoff schemes, such as
+exponential backoff ... can reduce the overhead on shared resources but
+still make the cores busy-waiting" (§II).  The evaluation fixes the
+spin-lock backoff to 128 cycles (§V-A) and Table II's LRSC row uses the
+same window.
+
+All policies draw from the core's own deterministic RNG so runs stay
+reproducible, and all windows are randomized (a deterministic fixed
+wait re-creates the lockstep livelock that symmetric manycore systems
+exhibit — our simulator, having no analog jitter, shows it immediately).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoBackoff:
+    """Retry immediately.  Livelock-prone under contention; provided as
+    the pathological baseline for the backoff ablation benchmark."""
+
+    def delay(self, rng: random.Random, attempt: int) -> int:
+        """Cycles to wait before retry ``attempt`` (0-based); here 0."""
+        return 0
+
+
+@dataclass(frozen=True)
+class FixedBackoff:
+    """Uniform random wait in ``[1, window]`` — the paper's 128-cycle
+    spin-lock backoff (randomized to break symmetry)."""
+
+    window: int = 128
+
+    def delay(self, rng: random.Random, attempt: int) -> int:
+        """Cycles to wait before the next retry."""
+        return rng.randrange(1, self.window + 1)
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Randomized exponential backoff: uniform in ``[1, min(cap,
+    base * 2**attempt)]`` — the classic policy of Anderson [1]."""
+
+    base: int = 8
+    cap: int = 2048
+
+    def delay(self, rng: random.Random, attempt: int) -> int:
+        """Cycles to wait before the next retry."""
+        window = min(self.cap, self.base << min(attempt, 30))
+        return rng.randrange(1, window + 1)
+
+
+#: Default policy for raw LR/SC retry loops (adapts to contention).
+DEFAULT_LRSC_BACKOFF = ExponentialBackoff()
+#: The paper's spin-lock configuration: fixed 128-cycle window.
+PAPER_LOCK_BACKOFF = FixedBackoff(128)
+#: Short randomized wait for LRwait QUEUE_FULL retries on bounded
+#: hardware (the queue drains quickly; long waits just add latency).
+QUEUE_FULL_BACKOFF = FixedBackoff(32)

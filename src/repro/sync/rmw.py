@@ -1,0 +1,110 @@
+"""Generic atomic read-modify-write sequences.
+
+These are the software idioms the paper benchmarks against each other
+(§V-A, histogram): the same *fetch-and-modify* expressed through each
+primitive.  All helpers are generator functions used with
+``yield from`` inside kernels and return the **old** value:
+
+* :func:`amo_fetch_add` — one ``amoadd`` instruction (the roofline; only
+  possible when the modification is an addition);
+* :func:`lrsc_fetch_modify` — the classic LR/SC retry loop, with
+  backoff after failed SCs;
+* :func:`wait_fetch_modify` — the LRwait/SCwait sequence: no retry loop
+  in the common case, the core sleeps until served.  On bounded
+  hardware (small LRSCwait queues or exhausted Colibri address slots)
+  the LRwait itself can bounce with ``QUEUE_FULL``, and the helper
+  retries after a short randomized wait — this is the software contract
+  §III-B describes.
+
+``modify`` is a plain Python function ``old -> new`` standing for the
+register computation between the load and the store; its cost in cycles
+is modelled by ``compute_cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cores.api import CoreApi
+from ..interconnect.messages import Status
+from .backoff import (
+    DEFAULT_LRSC_BACKOFF,
+    QUEUE_FULL_BACKOFF,
+)
+
+
+def amo_fetch_add(api: CoreApi, addr: int, value: int = 1):
+    """Fetch-and-add through the single AMO instruction."""
+    old = yield from api.amo_add(addr, value)
+    return old
+
+
+def lrsc_fetch_modify(api: CoreApi, addr: int,
+                      modify: Callable[[int], int],
+                      compute_cycles: int = 1,
+                      backoff=DEFAULT_LRSC_BACKOFF):
+    """Generic RMW via LR/SC with retry-on-failure.
+
+    Returns the old value once an SC finally succeeds.  Every failed SC
+    costs a full round trip plus the backoff wait — the polling/retry
+    traffic LRSCwait eliminates.
+    """
+    attempt = 0
+    while True:
+        old = yield from api.lr(addr)
+        yield from api.compute(compute_cycles)
+        success = yield from api.sc(addr, modify(old))
+        if success:
+            return old
+        delay = backoff.delay(api.rng, attempt)
+        yield from api.compute(delay)
+        attempt += 1
+
+
+def wait_fetch_modify(api: CoreApi, addr: int,
+                      modify: Callable[[int], int],
+                      compute_cycles: int = 1,
+                      full_backoff=QUEUE_FULL_BACKOFF):
+    """Generic RMW via LRwait/SCwait.
+
+    The LRwait response only arrives when this core is the queue head,
+    so the subsequent SCwait succeeds unless an interfering plain store
+    hit the address in between (rare by construction); then the whole
+    sequence retries.  A ``QUEUE_FULL`` bounce retries after a short
+    randomized wait.
+    """
+    attempt = 0
+    while True:
+        resp = yield from api.lrwait(addr)
+        if resp.status is Status.QUEUE_FULL:
+            delay = full_backoff.delay(api.rng, attempt)
+            yield from api.compute(delay)
+            attempt += 1
+            continue
+        old = resp.value
+        yield from api.compute(compute_cycles)
+        success = yield from api.scwait(addr, modify(old))
+        if success:
+            return old
+        attempt += 1
+
+
+def fetch_add(api: CoreApi, addr: int, value: int, method: str,
+              **kwargs):
+    """Fetch-and-add through the primitive named by ``method``.
+
+    ``method`` is one of ``"amo"``, ``"lrsc"``, ``"wait"`` — the same
+    naming the evaluation harness uses for histogram variants.
+    """
+    if method == "amo":
+        old = yield from amo_fetch_add(api, addr, value)
+        return old
+    if method == "lrsc":
+        old = yield from lrsc_fetch_modify(
+            api, addr, lambda v: v + value, **kwargs)
+        return old
+    if method == "wait":
+        old = yield from wait_fetch_modify(
+            api, addr, lambda v: v + value, **kwargs)
+        return old
+    raise ValueError(f"unknown RMW method {method!r}")

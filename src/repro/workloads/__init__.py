@@ -1,0 +1,17 @@
+"""Workload generators: index streams and the interference experiment."""
+
+from .interference import (
+    InterferenceResult,
+    endless_histogram_kernel,
+    run_interference,
+)
+from .streams import sequential_stream, uniform_stream, zipf_stream
+
+__all__ = [
+    "InterferenceResult",
+    "endless_histogram_kernel",
+    "run_interference",
+    "sequential_stream",
+    "uniform_stream",
+    "zipf_stream",
+]

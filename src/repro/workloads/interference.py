@@ -1,0 +1,111 @@
+"""The interference workload of Fig. 5.
+
+The system is partitioned into *pollers* — cores endlessly performing
+atomic histogram updates on a handful of bins — and *workers* — cores
+computing a matrix multiplication.  Pollers and workers share only the
+banks and the interconnect; any worker slowdown is pure interference
+from the atomics' traffic.
+
+The experiment runs twice: once with pollers idle (baseline makespan)
+and once with them hammering; the figure's y-axis is
+``baseline_makespan / interfered_makespan``.
+
+Poller kernels run *forever* (matching the paper's setup where atomics
+saturate for the whole measurement); the run stops when the watched
+workers finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.histogram import Histogram
+from ..algorithms.matmul import Matmul
+from ..arch.config import SystemConfig
+from ..machine import Machine
+from ..memory.variants import VariantSpec
+from ..sync.backoff import PAPER_LOCK_BACKOFF
+from ..sync.rmw import fetch_add
+
+
+def endless_histogram_kernel(histogram: Histogram, api, method: str,
+                             backoff=PAPER_LOCK_BACKOFF):
+    """Poller: update random bins until the simulation stops.
+
+    LRSC pollers retry with the paper's fixed 128-cycle backoff
+    ("despite a backoff of 128 cycles", §V-B); the backoff is ignored
+    by methods that never retry.
+    """
+    kwargs = {"backoff": backoff} if method == "lrsc" else {}
+    while True:
+        index = api.rng.randrange(histogram.num_bins)
+        yield from fetch_add(api, histogram.bin_addr(index), 1, method,
+                             **kwargs)
+        yield from api.retire()
+
+
+@dataclass
+class InterferenceResult:
+    """One Fig. 5 point."""
+
+    num_pollers: int
+    num_workers: int
+    num_bins: int
+    method: str
+    baseline_cycles: int
+    interfered_cycles: int
+
+    @property
+    def relative_throughput(self) -> float:
+        """Worker speed with interference relative to without (<= 1)."""
+        if self.interfered_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.interfered_cycles
+
+
+def run_interference(config: SystemConfig, variant: VariantSpec,
+                     method: str, num_workers: int, num_bins: int,
+                     matmul_dim: int = 16, seed: int = 0
+                     ) -> InterferenceResult:
+    """Measure matmul slowdown under atomic interference.
+
+    ``method`` is the pollers' RMW flavour (``"amo"``, ``"lrsc"``,
+    ``"wait"``); workers always run the same matmul.  The poller count
+    is ``num_cores - num_workers``.
+    """
+    num_pollers = config.num_cores - num_workers
+    if num_pollers < 0:
+        raise ValueError("more workers than cores")
+    # Workers take the highest core ids: the histogram bins live in the
+    # low banks (tile 0), so workers are remote from the hot tile and
+    # experience interference through the shared interconnect, not by
+    # sitting next to the bins.
+    worker_ids = list(range(config.num_cores - num_workers,
+                            config.num_cores))
+    poller_ids = list(range(config.num_cores - num_workers))
+
+    def build(load_pollers: bool) -> int:
+        machine = Machine(config, variant, seed=seed)
+        matmul = Matmul(machine, matmul_dim)
+        matmul.fill_inputs()
+        histogram = Histogram(machine, num_bins)
+        rows = matmul.partition_rows(num_workers)
+        for worker_index, core_id in enumerate(worker_ids):
+            machine.load(core_id,
+                         lambda api, r=rows[worker_index]:
+                         matmul.worker_kernel(api, r))
+        if load_pollers:
+            for core_id in poller_ids:
+                machine.load(core_id,
+                             lambda api: endless_histogram_kernel(
+                                 histogram, api, method))
+        machine.run_until_finished(worker_ids)
+        finish = max(machine.cores[i].finish_cycle for i in worker_ids)
+        return finish
+
+    baseline = build(load_pollers=False)
+    interfered = build(load_pollers=True)
+    return InterferenceResult(
+        num_pollers=num_pollers, num_workers=num_workers,
+        num_bins=num_bins, method=method,
+        baseline_cycles=baseline, interfered_cycles=interfered)

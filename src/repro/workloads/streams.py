@@ -1,0 +1,59 @@
+"""Workload index streams.
+
+The paper's histogram draws bins uniformly; real workloads are often
+skewed.  These generators produce deterministic per-core index streams
+for the histogram and queue workloads:
+
+* :func:`uniform_stream` — i.i.d. uniform bins (paper's setup);
+* :func:`zipf_stream` — Zipf-distributed bins (hot-spot extension used
+  by the ablation benches: contention concentrates on few bins even
+  when many exist);
+* :func:`sequential_stream` — round-robin (zero contention reference).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def uniform_stream(rng: random.Random, num_bins: int,
+                   count: int) -> Iterator[int]:
+    """``count`` i.i.d. uniform indices in ``[0, num_bins)``."""
+    for _ in range(count):
+        yield rng.randrange(num_bins)
+
+
+def zipf_stream(rng: random.Random, num_bins: int, count: int,
+                exponent: float = 1.0) -> Iterator[int]:
+    """``count`` Zipf(``exponent``)-distributed indices.
+
+    Rank 1 (index 0) is the hottest bin.  ``exponent = 0`` degenerates
+    to uniform.
+    """
+    weights = [1.0 / (rank ** exponent) for rank in range(1, num_bins + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cumulative.append(acc / total)
+    for _ in range(count):
+        point = rng.random()
+        # Binary search over the cumulative distribution.
+        lo, hi = 0, num_bins - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        yield lo
+
+
+def sequential_stream(start: int, num_bins: int,
+                      count: int) -> Iterator[int]:
+    """Round-robin indices starting at ``start`` (conflict-free when
+    cores use distinct starts and ``num_bins >= num_cores``)."""
+    for offset in range(count):
+        yield (start + offset) % num_bins

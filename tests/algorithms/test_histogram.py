@@ -1,0 +1,108 @@
+"""Tests for the concurrent histogram workload."""
+
+import pytest
+
+from repro import VariantSpec
+from repro.algorithms.histogram import Histogram, create_shared_mcs_locks
+from repro.sync.backoff import FixedBackoff
+from repro.sync.locks import AmoSpinLock, ColibriSpinLock, LrscSpinLock, MwaitMcsLock
+
+from ..conftest import make_machine
+
+CORES = 8
+UPDATES = 6
+
+
+def build(variant, num_bins, method, lock_cls=None, seed=0):
+    machine = make_machine(CORES, variant, seed=seed)
+    histogram = Histogram(machine, num_bins)
+    if lock_cls is not None:
+        if lock_cls is MwaitMcsLock:
+            histogram.attach_locks(lock_cls)
+        else:
+            histogram.attach_locks(lock_cls, backoff=FixedBackoff(32))
+        machine.load_all(histogram.kernel_factory("lock", UPDATES))
+    else:
+        machine.load_all(histogram.kernel_factory(method, UPDATES))
+    stats = machine.run()
+    return machine, histogram, stats
+
+
+@pytest.mark.parametrize("num_bins", [1, 4, 16])
+def test_amo_histogram_conserves_updates(num_bins):
+    _m, histogram, _s = build(VariantSpec.amo(), num_bins, "amo")
+    histogram.verify(CORES * UPDATES)
+
+
+@pytest.mark.parametrize("num_bins", [1, 4])
+def test_lrsc_histogram_conserves_updates(num_bins):
+    _m, histogram, _s = build(VariantSpec.lrsc(), num_bins, "lrsc")
+    histogram.verify(CORES * UPDATES)
+
+
+@pytest.mark.parametrize("variant", [VariantSpec.lrscwait_ideal(),
+                                     VariantSpec.lrscwait(2),
+                                     VariantSpec.colibri()])
+def test_wait_histogram_conserves_updates(variant):
+    _m, histogram, _s = build(variant, 2, "wait")
+    histogram.verify(CORES * UPDATES)
+
+
+@pytest.mark.parametrize("variant,lock_cls", [
+    (VariantSpec.amo(), AmoSpinLock),
+    (VariantSpec.lrsc(), LrscSpinLock),
+    (VariantSpec.colibri(), ColibriSpinLock),
+    (VariantSpec.colibri(), MwaitMcsLock),
+])
+def test_lock_histogram_conserves_updates(variant, lock_cls):
+    _m, histogram, _s = build(variant, 2, "lock", lock_cls=lock_cls)
+    histogram.verify(CORES * UPDATES)
+
+
+def test_bins_land_one_per_bank():
+    machine = make_machine(CORES, VariantSpec.amo())
+    histogram = Histogram(machine, 8)
+    banks = [machine.address_map.bank_of(histogram.bin_addr(i))
+             for i in range(8)]
+    assert banks == list(range(8))
+
+
+def test_counts_match_per_bin_truth():
+    machine, histogram, stats = build(VariantSpec.amo(), 4, "amo", seed=3)
+    counts = histogram.counts()
+    assert sum(counts) == CORES * UPDATES
+    assert all(count >= 0 for count in counts)
+    assert len(counts) == 4
+
+
+def test_verify_raises_on_mismatch():
+    machine = make_machine(4, VariantSpec.amo())
+    histogram = Histogram(machine, 2)
+    machine.poke(histogram.bin_addr(0), 5)
+    with pytest.raises(AssertionError, match="lost"):
+        histogram.verify(99)
+
+
+def test_lock_kernel_requires_attach():
+    machine = make_machine(4, VariantSpec.amo())
+    histogram = Histogram(machine, 2)
+    machine.load(0, histogram.kernel_factory("lock", 1))
+    with pytest.raises(Exception, match="attach_locks"):
+        machine.run()
+
+
+def test_unknown_method_rejected():
+    machine = make_machine(4, VariantSpec.amo())
+    histogram = Histogram(machine, 2)
+    with pytest.raises(ValueError):
+        histogram.kernel_factory("bogus", 1)
+
+
+def test_shared_mcs_locks_share_node_table():
+    machine = make_machine(8, VariantSpec.colibri())
+    locks = create_shared_mcs_locks(machine, 10)
+    assert len(locks) == 10
+    first_nodes = locks[0].node_addrs
+    assert all(lock.node_addrs is first_nodes for lock in locks)
+    tails = {lock.tail_addr for lock in locks}
+    assert len(tails) == 10

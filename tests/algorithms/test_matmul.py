@@ -1,0 +1,53 @@
+"""Tests for the matmul worker kernel."""
+
+from repro import VariantSpec
+from repro.algorithms.matmul import Matmul
+
+from ..conftest import make_machine
+
+
+def test_single_worker_computes_product():
+    machine = make_machine(4, VariantSpec.amo())
+    matmul = Matmul(machine, dim=6)
+    matmul.fill_inputs(seed=3)
+    machine.load(0, lambda api: matmul.worker_kernel(api, range(6)))
+    machine.run()
+    matmul.verify()
+
+
+def test_parallel_workers_compute_product():
+    machine = make_machine(8, VariantSpec.amo())
+    matmul = Matmul(machine, dim=8)
+    matmul.fill_inputs(seed=4)
+    rows = matmul.partition_rows(8)
+    for core_id in range(8):
+        machine.load(core_id,
+                     lambda api, r=rows[core_id]: matmul.worker_kernel(api, r))
+    stats = machine.run()
+    matmul.verify()
+    assert stats.total_ops == 8 * 8  # one retire per output element
+
+
+def test_partition_covers_all_rows_disjointly():
+    machine = make_machine(4, VariantSpec.amo())
+    matmul = Matmul(machine, dim=10)
+    rows = matmul.partition_rows(3)
+    flat = sorted(r for part in rows for r in part)
+    assert flat == list(range(10))
+
+
+def test_parallel_faster_than_serial():
+    def run(workers):
+        machine = make_machine(8, VariantSpec.amo())
+        matmul = Matmul(machine, dim=8)
+        matmul.fill_inputs()
+        rows = matmul.partition_rows(workers)
+        for core_id in range(workers):
+            machine.load(core_id, lambda api, r=rows[core_id]:
+                         matmul.worker_kernel(api, r))
+        stats = machine.run()
+        return stats.cycles
+
+    serial = run(1)
+    parallel = run(8)
+    assert parallel < serial / 3  # decent scaling on 8 cores

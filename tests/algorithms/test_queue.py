@@ -1,0 +1,148 @@
+"""Correctness tests for the concurrent linked queue.
+
+The invariants checked (whatever the synchronization method):
+
+* conservation — every enqueued value is dequeued at most once, and
+  enqueued-minus-dequeued values are exactly what remains in the list;
+* per-producer FIFO — values from one producer are consumed in the
+  order that producer enqueued them (MS-queue linearizability witness
+  that does not require a global order);
+* no duplication/corruption of node links.
+"""
+
+import pytest
+
+from repro import VariantSpec
+from repro.algorithms.mcs_queue import ConcurrentQueue, queue_worker_kernel
+from repro.engine.errors import MemoryError_
+
+from ..conftest import make_machine
+
+METHOD_VARIANTS = [
+    ("lrsc", VariantSpec.lrsc()),
+    ("wait", VariantSpec.colibri()),
+    ("wait", VariantSpec.lrscwait_ideal()),
+    ("lock", VariantSpec.amo()),
+]
+
+
+def test_single_core_fifo():
+    machine = make_machine(4, VariantSpec.colibri())
+    queue = ConcurrentQueue(machine, "wait", nodes_per_core=8)
+    popped = []
+
+    def kernel(api):
+        for value in (10, 20, 30):
+            yield from queue.enqueue(api, value)
+        for _ in range(3):
+            ok, value = yield from queue.dequeue(api)
+            assert ok
+            popped.append(value)
+
+    machine.load(0, kernel)
+    machine.run()
+    assert popped == [10, 20, 30]
+
+
+def test_dequeue_empty_returns_not_ok():
+    machine = make_machine(4, VariantSpec.colibri())
+    queue = ConcurrentQueue(machine, "wait", nodes_per_core=4)
+    results = []
+
+    def kernel(api):
+        ok, _ = yield from queue.dequeue(api)
+        results.append(ok)
+
+    machine.load(0, kernel)
+    machine.run()
+    assert results == [False]
+
+
+@pytest.mark.parametrize("method,variant", METHOD_VARIANTS)
+def test_concurrent_conservation(method, variant):
+    cores, per_core = 8, 6
+    machine = make_machine(cores, variant, seed=13)
+    queue = ConcurrentQueue(machine, method, nodes_per_core=per_core)
+    consumed = []
+
+    def kernel(api):
+        for seq in range(per_core):
+            yield from queue.enqueue(api, api.core_id * 1000 + seq)
+        for _ in range(per_core - 2):
+            while True:
+                ok, value = yield from queue.dequeue(api)
+                if ok:
+                    consumed.append(value)
+                    break
+                yield from api.compute(5)
+
+    machine.load_all(kernel)
+    machine.run()
+    remaining = queue.drain_values()
+    produced = {core * 1000 + seq
+                for core in range(cores) for seq in range(per_core)}
+    assert len(consumed) == cores * (per_core - 2)
+    assert len(set(consumed)) == len(consumed)  # no duplication
+    assert set(consumed) | set(remaining) == produced
+    assert not set(consumed) & set(remaining)
+
+
+@pytest.mark.parametrize("method,variant", METHOD_VARIANTS)
+def test_per_producer_fifo(method, variant):
+    cores, per_core = 8, 5
+    machine = make_machine(cores, variant, seed=17)
+    queue = ConcurrentQueue(machine, method, nodes_per_core=per_core)
+    consumed = []
+
+    def kernel(api):
+        for seq in range(per_core):
+            yield from queue.enqueue(api, api.core_id * 1000 + seq)
+            yield from api.compute(api.rng.randrange(10))
+        for _ in range(per_core):
+            while True:
+                ok, value = yield from queue.dequeue(api)
+                if ok:
+                    consumed.append(value)
+                    break
+                yield from api.compute(5)
+
+    machine.load_all(kernel)
+    machine.run()
+    for core in range(cores):
+        own = [v % 1000 for v in consumed if v // 1000 == core]
+        assert own == sorted(own), f"producer {core} order violated"
+
+
+def test_worker_kernel_retires_requested_ops():
+    machine = make_machine(8, VariantSpec.colibri(), seed=19)
+    queue = ConcurrentQueue(machine, "wait", nodes_per_core=10)
+    machine.load_all(lambda api: queue_worker_kernel(queue, api, 12))
+    stats = machine.run()
+    assert all(c.ops_completed == 12 for c in stats.cores)
+
+
+def test_arena_exhaustion_raises():
+    machine = make_machine(4, VariantSpec.colibri())
+    queue = ConcurrentQueue(machine, "wait", nodes_per_core=1)
+
+    def kernel(api):
+        yield from queue.enqueue(api, 1)
+        yield from queue.enqueue(api, 2)  # second node must fail
+
+    machine.load(0, kernel)
+    with pytest.raises(Exception, match="arena"):
+        machine.run()
+
+
+def test_unknown_method_rejected():
+    machine = make_machine(4, VariantSpec.amo())
+    with pytest.raises(ValueError):
+        ConcurrentQueue(machine, "bogus", nodes_per_core=2)
+
+
+def test_head_tail_in_distinct_banks():
+    machine = make_machine(4, VariantSpec.colibri())
+    queue = ConcurrentQueue(machine, "wait", nodes_per_core=2)
+    head_bank = machine.address_map.bank_of(queue.head_addr)
+    tail_bank = machine.address_map.bank_of(queue.tail_addr)
+    assert head_bank != tail_bank

@@ -1,0 +1,66 @@
+"""Unit tests for system configuration."""
+
+import pytest
+
+from repro.arch.config import LatencyConfig, SystemConfig
+from repro.engine.errors import ConfigError
+
+
+def test_mempool_shape():
+    config = SystemConfig.mempool()
+    config.validate()
+    assert config.num_cores == 256
+    assert config.num_tiles == 64
+    assert config.num_banks == 1024
+    assert config.tiles_per_group == 16
+    assert config.memory_bytes == 1024 * 256 * 4  # 1 MiB
+
+
+def test_scaled_keeps_tile_shape():
+    config = SystemConfig.scaled(32)
+    assert config.num_tiles == 8
+    assert config.banks_per_tile == 16
+    assert config.num_banks == 128
+
+
+def test_scaled_small_system_single_group():
+    config = SystemConfig.scaled(8)
+    assert config.num_groups == 1
+
+
+def test_scaled_rejects_non_multiple_of_tile():
+    with pytest.raises(ConfigError):
+        SystemConfig.scaled(6)
+
+
+def test_validate_rejects_partial_tiles():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_cores=10, cores_per_tile=4).validate()
+
+
+def test_validate_rejects_partial_groups():
+    with pytest.raises(ConfigError):
+        SystemConfig(num_cores=16, cores_per_tile=4, num_groups=3).validate()
+
+
+def test_validate_rejects_bad_word_size():
+    with pytest.raises(ConfigError):
+        SystemConfig(word_bytes=3).validate()
+
+
+def test_latency_monotonicity_enforced():
+    with pytest.raises(ConfigError):
+        LatencyConfig(local_tile=5, same_group=3).validate()
+
+
+def test_latency_positive_enforced():
+    with pytest.raises(ConfigError):
+        LatencyConfig(bank_cycles=0).validate()
+
+
+def test_with_latency_returns_modified_copy():
+    config = SystemConfig.scaled(16)
+    slower = config.with_latency(remote_group=9)
+    assert slower.latency.remote_group == 9
+    assert config.latency.remote_group == 5
+    assert slower.num_cores == config.num_cores

@@ -1,0 +1,62 @@
+"""Unit tests for the hierarchical topology."""
+
+import pytest
+
+from repro.arch.config import SystemConfig
+from repro.arch.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    # 64 cores -> 16 tiles -> 4 groups of 4 tiles; 256 banks.
+    return Topology(SystemConfig.scaled(64))
+
+
+def test_tile_of_core(topo):
+    assert topo.tile_of_core(0) == 0
+    assert topo.tile_of_core(3) == 0
+    assert topo.tile_of_core(4) == 1
+    assert topo.tile_of_core(63) == 15
+
+
+def test_tile_of_bank(topo):
+    assert topo.tile_of_bank(0) == 0
+    assert topo.tile_of_bank(15) == 0
+    assert topo.tile_of_bank(16) == 1
+
+
+def test_group_of_tile(topo):
+    assert topo.group_of_tile(0) == 0
+    assert topo.group_of_tile(3) == 0
+    assert topo.group_of_tile(4) == 1
+    assert topo.group_of_tile(15) == 3
+
+
+def test_distance_classes(topo):
+    # core 0 is in tile 0 (group 0).
+    assert topo.distance_class(0, 0) == "local"        # bank in tile 0
+    assert topo.distance_class(0, 16) == "group"       # tile 1, group 0
+    assert topo.distance_class(0, 16 * 4) == "global"  # tile 4, group 1
+
+
+def test_latencies_match_config(topo):
+    lat = topo.config.latency
+    assert topo.latency(0, 0) == lat.local_tile
+    assert topo.latency(0, 16) == lat.same_group
+    assert topo.latency(0, 16 * 4) == lat.remote_group
+
+
+def test_hop_count_equals_latency_in_default_model(topo):
+    for bank in (0, 16, 64, 255):
+        assert topo.hop_count(5, bank) == topo.latency(5, bank)
+
+
+def test_local_banks_of_core(topo):
+    assert list(topo.local_banks_of_core(0)) == list(range(16))
+    assert list(topo.local_banks_of_core(7)) == list(range(16, 32))
+
+
+def test_cores_in_tile_roundtrip(topo):
+    for tile in range(topo.config.num_tiles):
+        for core in topo.cores_in_tile(tile):
+            assert topo.tile_of_core(core) == tile

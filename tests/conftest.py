@@ -1,0 +1,79 @@
+"""Shared fixtures and kernel helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.interconnect.messages import Status
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 16-core, 4-tile, 64-bank system — fast but multi-group-free."""
+    return SystemConfig.scaled(16)
+
+
+@pytest.fixture
+def grouped_config() -> SystemConfig:
+    """A 64-core system with 4 real groups (exercises global routes)."""
+    return SystemConfig.scaled(64)
+
+
+def make_machine(num_cores: int, variant: VariantSpec, seed: int = 0,
+                 **kwargs) -> Machine:
+    """Convenience constructor used across the suite."""
+    return Machine(SystemConfig.scaled(num_cores), variant, seed=seed,
+                   **kwargs)
+
+
+# -- reusable kernels ---------------------------------------------------------
+
+def increment_kernel_wait(counter: int, updates: int):
+    """LRwait/SCwait increment loop (kernel factory)."""
+
+    def kernel(api):
+        for _ in range(updates):
+            while True:
+                resp = yield from api.lrwait(counter)
+                if resp.status is Status.QUEUE_FULL:
+                    yield from api.compute(8 + api.rng.randrange(8))
+                    continue
+                yield from api.compute(1)
+                ok = yield from api.scwait(counter, resp.value + 1)
+                if ok:
+                    break
+            yield from api.retire()
+
+    return kernel
+
+
+def increment_kernel_lrsc(counter: int, updates: int):
+    """LR/SC increment loop with randomized backoff (kernel factory)."""
+
+    def kernel(api):
+        for _ in range(updates):
+            attempt = 0
+            while True:
+                value = yield from api.lr(counter)
+                yield from api.compute(1)
+                ok = yield from api.sc(counter, value + 1)
+                if ok:
+                    break
+                window = min(1024, 8 << min(attempt, 8))
+                yield from api.compute(api.rng.randrange(1, window))
+                attempt += 1
+            yield from api.retire()
+
+    return kernel
+
+
+def increment_kernel_amo(counter: int, updates: int):
+    """amoadd increment loop (kernel factory)."""
+
+    def kernel(api):
+        for _ in range(updates):
+            yield from api.amo_add(counter, 1)
+            yield from api.retire()
+
+    return kernel

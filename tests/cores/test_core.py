@@ -1,0 +1,186 @@
+"""Core model tests, driven through a real (small) machine."""
+
+import pytest
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.engine.errors import DeadlockError, KernelError
+
+from ..conftest import make_machine
+
+
+def test_compute_only_kernel_finishes():
+    machine = make_machine(4, VariantSpec.amo())
+
+    def kernel(api):
+        yield from api.compute(10)
+
+    machine.load(0, kernel)
+    stats = machine.run()
+    assert machine.cores[0].finished
+    assert stats.cores[0].active_cycles == 10
+    assert stats.cores[0].instructions == 10
+
+
+def test_load_store_roundtrip():
+    machine = make_machine(4, VariantSpec.amo())
+    addr = machine.allocator.alloc_interleaved(1)
+    seen = []
+
+    def kernel(api):
+        yield from api.sw(addr, 123)
+        value = yield from api.lw(addr)
+        seen.append(value)
+
+    machine.load(0, kernel)
+    machine.run()
+    assert seen == [123]
+    assert machine.peek(addr) == 123
+
+
+def test_memory_op_timing_local_bank():
+    """A local access: 1 issue + 1 req latency + 1 bank + 1 resp latency."""
+    machine = make_machine(4, VariantSpec.amo())
+    # Bank 0 is local to core 0.
+    addr = machine.address_map.address_of(0, 0)
+    done_at = []
+
+    def kernel(api):
+        yield from api.lw(addr)
+        done_at.append(machine.sim.now)
+
+    machine.load(0, kernel)
+    machine.run()
+    assert done_at[0] == 3  # issue ends at 1, arrive 2, serve 2, resp 3
+
+
+def test_remote_access_slower_than_local():
+    machine = make_machine(16, VariantSpec.amo())
+    local = machine.address_map.address_of(0, 0)      # tile 0
+    remote = machine.address_map.address_of(60, 0)    # tile 3
+    times = {}
+
+    def kernel(api):
+        start = machine.sim.now
+        yield from api.lw(local)
+        times["local"] = machine.sim.now - start
+        start = machine.sim.now
+        yield from api.lw(remote)
+        times["remote"] = machine.sim.now - start
+
+    machine.load(0, kernel)
+    machine.run()
+    assert times["remote"] > times["local"]
+
+
+def test_stall_cycles_accounted():
+    machine = make_machine(16, VariantSpec.amo())
+    remote = machine.address_map.address_of(60, 0)
+
+    def kernel(api):
+        yield from api.lw(remote)
+
+    machine.load(0, kernel)
+    stats = machine.run()
+    assert stats.cores[0].stalled_cycles > 0
+    assert stats.cores[0].sleep_cycles == 0
+
+
+def test_sleep_cycles_accounted_for_lrwait():
+    machine = make_machine(4, VariantSpec.colibri())
+    addr = machine.allocator.alloc_interleaved(1)
+
+    def holder(api):
+        resp = yield from api.lrwait(addr)
+        yield from api.compute(50)  # keep the queue busy
+        yield from api.scwait(addr, resp.value + 1)
+
+    def waiter(api):
+        resp = yield from api.lrwait(addr)
+        yield from api.scwait(addr, resp.value + 1)
+
+    machine.load(0, holder)
+    machine.load(1, waiter)
+    stats = machine.run()
+    assert stats.cores[1].sleep_cycles >= 50
+    assert machine.peek(addr) == 2
+
+
+def test_retire_counts_ops():
+    machine = make_machine(4, VariantSpec.amo())
+
+    def kernel(api):
+        yield from api.retire(3)
+        yield from api.compute(1)
+        yield from api.retire()
+
+    machine.load(0, kernel)
+    stats = machine.run()
+    assert stats.cores[0].ops_completed == 4
+
+
+def test_kernel_exception_wrapped_with_context():
+    machine = make_machine(4, VariantSpec.amo())
+
+    def kernel(api):
+        yield from api.compute(1)
+        raise RuntimeError("boom")
+
+    machine.load(0, kernel)
+    with pytest.raises(KernelError, match="boom"):
+        machine.run()
+
+
+def test_invalid_yield_rejected():
+    machine = make_machine(4, VariantSpec.amo())
+
+    def kernel(api):
+        yield "not a command"
+
+    machine.load(0, kernel)
+    with pytest.raises(KernelError, match="yielded"):
+        machine.run()
+
+
+def test_deadlock_detection_reports_blocked_core():
+    """An LRwait never followed by the holder's SCwait deadlocks the
+    waiter — the §III progress constraint made observable."""
+    machine = make_machine(4, VariantSpec.colibri(), strict=False)
+    addr = machine.allocator.alloc_interleaved(1)
+
+    def selfish(api):
+        yield from api.lrwait(addr)
+        # never issues the SCwait
+
+    def starved(api):
+        yield from api.lrwait(addr)
+
+    machine.load(0, selfish)
+    machine.load(1, starved)
+    with pytest.raises(DeadlockError, match="core 1"):
+        machine.run()
+
+
+def test_request_counters():
+    machine = make_machine(4, VariantSpec.lrsc())
+    addr = machine.allocator.alloc_interleaved(1)
+
+    def kernel(api):
+        value = yield from api.lr(addr)
+        yield from api.sc(addr, value + 1)
+        yield from api.lw(addr)
+
+    machine.load(0, kernel)
+    stats = machine.run()
+    assert stats.cores[0].requests == {"lr": 1, "sc": 1, "lw": 1}
+    assert stats.cores[0].sc_successes == 1
+
+
+def test_double_load_kernel_rejected():
+    machine = make_machine(4, VariantSpec.amo())
+
+    def kernel(api):
+        yield from api.compute(1)
+
+    machine.load(0, kernel)
+    with pytest.raises(KernelError):
+        machine.load(0, kernel)

@@ -1,0 +1,171 @@
+"""Unit tests for the Colibri Qnode state machine."""
+
+import pytest
+
+from repro.cores.qnode import Qnode
+from repro.engine.errors import ProtocolViolation, SimulationError
+from repro.interconnect.messages import (
+    MemRequest,
+    MemResponse,
+    Op,
+    Status,
+    SuccessorUpdate,
+)
+
+
+def make():
+    sent_wakeups = []
+    released = []
+    node = Qnode(0, sent_wakeups.append,
+                 lambda req, bank: released.append((req, bank)))
+    return node, sent_wakeups, released
+
+
+def wait_req(addr=0, op=Op.LRWAIT):
+    return MemRequest(op=op, core_id=0, addr=addr)
+
+
+def update(addr=0, successor=7):
+    return SuccessorUpdate(bank_id=3, addr=addr, prev_core=0,
+                           successor=successor)
+
+
+def resp(op, successor_pending=False, status=Status.OK):
+    return MemResponse(op=op, core_id=0, addr=0, status=status,
+                       successor_pending=successor_pending)
+
+
+def test_arm_on_wait_issue():
+    node, _w, _r = make()
+    assert node.try_issue_wait(wait_req(), bank_id=3)
+    assert node.armed and node.armed_addr == 0 and node.armed_bank == 3
+
+
+def test_double_wait_while_armed_raises():
+    node, _w, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    with pytest.raises(ProtocolViolation):
+        node.try_issue_wait(wait_req(addr=4), 1)
+
+
+def test_queue_full_response_disarms():
+    node, _w, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_response(resp(Op.LRWAIT, status=Status.QUEUE_FULL))
+    assert not node.armed
+
+
+def test_lrwait_ok_response_keeps_node_armed():
+    node, _w, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_response(resp(Op.LRWAIT))
+    assert node.armed  # holder: exits via SCwait
+
+
+def test_scwait_pass_with_known_successor_dispatches_immediately():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_successor_update(update(successor=7))
+    node.on_scwait_pass()
+    assert len(wakeups) == 1 and wakeups[0].successor == 7
+    node.on_response(resp(Op.SCWAIT, successor_pending=True))
+    assert not node.armed
+    assert len(wakeups) == 1  # no double dispatch
+
+
+def test_scwait_response_with_late_successor_dispatches_at_response():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_scwait_pass()          # successor unknown at pass time
+    node.on_successor_update(update(successor=5))  # arrives in flight
+    node.on_response(resp(Op.SCWAIT, successor_pending=True))
+    assert len(wakeups) == 1 and wakeups[0].successor == 5
+    assert not node.armed
+
+
+def test_scwait_no_successor_no_pending_disarms():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_scwait_pass()
+    node.on_response(resp(Op.SCWAIT, successor_pending=False))
+    assert not node.armed and wakeups == []
+
+
+def test_pass_then_bounce():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_scwait_pass()
+    node.on_response(resp(Op.SCWAIT, successor_pending=True))
+    assert node.busy_with_pass
+    node.on_successor_update(update(successor=9))
+    assert len(wakeups) == 1 and wakeups[0].successor == 9
+    assert not node.armed and not node.busy_with_pass
+
+
+def test_wait_stalls_during_pending_pass_and_releases_on_bounce():
+    node, wakeups, released = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_scwait_pass()
+    node.on_response(resp(Op.SCWAIT, successor_pending=True))
+    # New wait op while the node owes a bounce: must be buffered.
+    new_req = wait_req(addr=8)
+    assert not node.try_issue_wait(new_req, bank_id=1)
+    assert released == []
+    node.on_successor_update(update(successor=2))  # bounce resolves
+    assert released == [(new_req, 1)]
+    assert node.armed and node.armed_addr == 8  # re-armed for new wait
+
+
+def test_two_stalled_waits_raise():
+    node, _w, _r = make()
+    node.try_issue_wait(wait_req(), 3)
+    node.on_scwait_pass()
+    node.on_response(resp(Op.SCWAIT, successor_pending=True))
+    node.try_issue_wait(wait_req(addr=8), 1)
+    with pytest.raises(ProtocolViolation):
+        node.try_issue_wait(wait_req(addr=12), 2)
+
+
+def test_mwait_response_behaves_like_dequeue():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(op=Op.MWAIT), 3)
+    node.on_successor_update(update(successor=4))
+    node.on_response(resp(Op.MWAIT, successor_pending=True))
+    assert len(wakeups) == 1 and wakeups[0].successor == 4
+    assert not node.armed
+
+
+def test_mwait_response_without_successor_frees():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(op=Op.MWAIT), 3)
+    node.on_response(resp(Op.MWAIT, successor_pending=False))
+    assert not node.armed and wakeups == []
+
+
+def test_successor_update_for_wrong_addr_raises():
+    node, _w, _r = make()
+    node.try_issue_wait(wait_req(addr=0), 3)
+    with pytest.raises(SimulationError):
+        node.on_successor_update(update(addr=16))
+
+
+def test_successor_update_while_idle_raises():
+    node, _w, _r = make()
+    with pytest.raises(SimulationError):
+        node.on_successor_update(update())
+
+
+def test_scwait_pass_without_membership_raises():
+    node, _w, _r = make()
+    with pytest.raises(ProtocolViolation):
+        node.on_scwait_pass()
+
+
+def test_wakeup_targets_armed_bank_and_addr():
+    node, wakeups, _r = make()
+    node.try_issue_wait(wait_req(addr=24), bank_id=6)
+    node.on_successor_update(SuccessorUpdate(
+        bank_id=6, addr=24, prev_core=0, successor=3))
+    node.on_scwait_pass()
+    wake = wakeups[0]
+    assert wake.bank_id == 6 and wake.addr == 24 and wake.from_core == 0

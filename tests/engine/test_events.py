@@ -1,0 +1,76 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.engine.events import Event, EventQueue, PRIORITY_EARLY, PRIORITY_LATE
+
+
+def test_pop_orders_by_cycle():
+    queue = EventQueue()
+    order = []
+    queue.push(5, lambda: order.append("b"))
+    queue.push(1, lambda: order.append("a"))
+    queue.push(9, lambda: order.append("c"))
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.fn()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_cycle_fifo_order():
+    queue = EventQueue()
+    events = [queue.push(3, lambda i=i: i) for i in range(10)]
+    popped = [queue.pop() for _ in range(10)]
+    assert popped == events
+
+
+def test_priority_breaks_cycle_ties():
+    queue = EventQueue()
+    normal = queue.push(2, lambda: None)
+    early = queue.push(2, lambda: None, priority=PRIORITY_EARLY)
+    late = queue.push(2, lambda: None, priority=PRIORITY_LATE)
+    assert queue.pop() is early
+    assert queue.pop() is normal
+    assert queue.pop() is late
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    first = queue.push(1, lambda: None)
+    second = queue.push(2, lambda: None)
+    first.cancel()
+    assert queue.pop() is second
+    assert queue.pop() is None
+
+
+def test_peek_cycle_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1, lambda: None)
+    queue.push(4, lambda: None)
+    assert queue.peek_cycle() == 1
+    first.cancel()
+    assert queue.peek_cycle() == 4
+
+
+def test_negative_cycle_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(-1, lambda: None)
+
+
+def test_len_and_clear():
+    queue = EventQueue()
+    for cycle in range(5):
+        queue.push(cycle, lambda: None)
+    assert len(queue) == 5
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_event_handles_compare_by_schedule_key():
+    early = Event(1, 0, 0, lambda: None)
+    late = Event(2, 0, 1, lambda: None)
+    assert early < late

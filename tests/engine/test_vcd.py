@@ -1,0 +1,75 @@
+"""Tests for VCD trace export."""
+
+import io
+
+import pytest
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.engine.trace import Tracer
+from repro.engine.vcd import VcdWriter, write_vcd, _identifier
+
+from ..conftest import increment_kernel_wait
+
+
+def test_identifier_codes_unique_and_printable():
+    codes = [_identifier(i) for i in range(500)]
+    assert len(set(codes)) == 500
+    assert all(33 <= ord(ch) <= 126 for code in codes for ch in code)
+
+
+def test_writer_header_and_changes():
+    stream = io.StringIO()
+    writer = VcdWriter(stream)
+    code = writer.add_signal("cores", "core0")
+    writer.change(0, code, "active")
+    writer.change(5, code, "sleeping")
+    writer.finalize(end_time=10)
+    text = stream.getvalue()
+    assert "$timescale 1ns $end" in text
+    assert "$var string 1" in text and "core0" in text
+    assert "#0" in text and "#5" in text and "#10" in text
+    assert "sactive" in text and "ssleeping" in text
+
+
+def test_writer_rejects_time_reversal():
+    writer = VcdWriter(io.StringIO())
+    code = writer.add_signal("s", "x")
+    writer.change(5, code, "a")
+    with pytest.raises(ValueError):
+        writer.change(3, code, "b")
+
+
+def test_writer_rejects_late_signal_add():
+    writer = VcdWriter(io.StringIO())
+    code = writer.add_signal("s", "x")
+    writer.change(0, code, "a")
+    with pytest.raises(ValueError):
+        writer.add_signal("s", "y")
+
+
+def test_write_vcd_from_real_run(tmp_path):
+    tracer = Tracer(enabled=True)
+    machine = Machine(SystemConfig.scaled(4), VariantSpec.colibri(),
+                      seed=1, tracer=tracer)
+    counter = machine.allocator.alloc_interleaved(1)
+    machine.load_all(increment_kernel_wait(counter, 2))
+    machine.run()
+    path = str(tmp_path / "run.vcd")
+    count = write_vcd(tracer, machine.config, path)
+    assert count > 0
+    with open(path) as handle:
+        text = handle.read()
+    assert "$scope module cores $end" in text
+    assert "$scope module banks $end" in text
+    assert "slrwait" in text
+    assert "ssleeping" in text
+    assert "sidle" in text
+
+
+def test_write_vcd_empty_trace(tmp_path):
+    tracer = Tracer(enabled=True)
+    path = str(tmp_path / "empty.vcd")
+    count = write_vcd(tracer, SystemConfig.scaled(4), path)
+    assert count == 0
+    with open(path) as handle:
+        assert "$enddefinitions" in handle.read()

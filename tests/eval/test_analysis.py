@@ -1,0 +1,70 @@
+"""Tests for the post-run analysis module."""
+
+from repro import VariantSpec
+from repro.eval.analysis import (
+    bank_pressure,
+    core_time_breakdown,
+    message_breakdown,
+    summarize,
+)
+
+from ..conftest import increment_kernel_lrsc, increment_kernel_wait, make_machine
+
+
+def run(variant, builder, cores=8, updates=5):
+    machine = make_machine(cores, variant, seed=7)
+    counter = machine.allocator.alloc_interleaved(1)
+    machine.load_all(builder(counter, updates))
+    return machine.run()
+
+
+def test_bank_pressure_identifies_hot_bank():
+    stats = run(VariantSpec.colibri(), increment_kernel_wait)
+    pressure = bank_pressure(stats, top=3)
+    # The counter lives in bank 0: it must dominate.
+    assert pressure[0].bank_id == 0
+    assert pressure[0].share > 0.5
+    assert pressure[0].accesses >= pressure[-1].accesses
+
+
+def test_core_time_breakdown_sums_to_one():
+    stats = run(VariantSpec.colibri(), increment_kernel_wait)
+    split = core_time_breakdown(stats)
+    assert abs(sum(split.values()) - 1.0) < 1e-9
+    assert split["sleeping"] > 0.5  # Colibri waiters sleep
+
+
+def test_polling_workload_is_mostly_active():
+    stats = run(VariantSpec.lrsc(), increment_kernel_lrsc)
+    split = core_time_breakdown(stats)
+    assert split["active"] > split["sleeping"]
+
+
+def test_message_breakdown_colibri_protocol_share():
+    stats = run(VariantSpec.colibri(), increment_kernel_wait)
+    messages = message_breakdown(stats)
+    assert messages["protocol_share"] > 0
+    assert messages["retry_estimate"] == 0  # no failed SCwaits
+    assert messages["by_kind"]["lrwait"] > 0
+
+
+def test_message_breakdown_lrsc_retry_share():
+    stats = run(VariantSpec.lrsc(), increment_kernel_lrsc)
+    messages = message_breakdown(stats)
+    assert messages["protocol_share"] == 0
+    assert messages["retry_estimate"] > 0.1
+
+
+def test_summarize_renders_everything():
+    stats = run(VariantSpec.colibri(), increment_kernel_wait)
+    text = summarize(stats, title="colibri increment")
+    for token in ("colibri increment", "ops/cycle", "hottest banks",
+                  "protocol share"):
+        assert token in text
+
+
+def test_empty_run_summary_is_safe():
+    machine = make_machine(4, VariantSpec.amo())
+    stats = machine.run()  # nothing loaded
+    text = summarize(stats)
+    assert "ops retired" in text

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_histogram_command_default(capsys):
+    out = run_cli(capsys, ["histogram", "--cores", "8", "--bins", "2",
+                           "--updates", "3"])
+    assert "histogram: Colibri/wait" in out
+    assert "ops/cycle" in out
+    assert "hottest banks" in out
+
+
+@pytest.mark.parametrize("variant,expected", [
+    ("amo", "AtomicAdd/amo"),
+    ("lrsc", "LRSC/lrsc"),
+    ("lrsc-table", "LRSC_table/lrsc"),
+    ("lrsc-bank", "LRSC_bank/lrsc"),
+    ("ideal", "LRSCwait_ideal/wait"),
+])
+def test_histogram_variants(capsys, variant, expected):
+    out = run_cli(capsys, ["histogram", "--cores", "8", "--bins", "2",
+                           "--updates", "2", "--variant", variant])
+    assert expected in out
+
+
+def test_histogram_lock_method(capsys):
+    out = run_cli(capsys, ["histogram", "--cores", "8", "--bins", "2",
+                           "--updates", "2", "--variant", "colibri",
+                           "--method", "lock", "--lock", "mcs"])
+    assert "Colibri/lock" in out
+
+
+def test_queue_command(capsys):
+    out = run_cli(capsys, ["queue", "--cores", "8", "--ops", "6",
+                           "--method", "wait"])
+    assert "queue: wait" in out
+    assert "Jain fairness" in out
+
+
+def test_interference_command(capsys):
+    out = run_cli(capsys, ["interference", "--cores", "16",
+                           "--workers", "4", "--bins", "1",
+                           "--variant", "colibri"])
+    assert "relative throughput" in out
+    assert "12:4" in out
+
+
+def test_area_command(capsys):
+    out = run_cli(capsys, ["area"])
+    assert "Table I" in out and "paper kGE" in out
+    assert "O(n^2)" in out
+
+
+def test_energy_command(capsys):
+    out = run_cli(capsys, ["energy", "--cores", "8", "--updates", "3"])
+    assert "Table II" in out and "Colibri" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_seed_changes_timing_not_correctness(capsys):
+    out_a = run_cli(capsys, ["histogram", "--cores", "8", "--bins", "2",
+                             "--updates", "3", "--seed", "1"])
+    out_b = run_cli(capsys, ["histogram", "--cores", "8", "--bins", "2",
+                             "--updates", "3", "--seed", "2"])
+    assert out_a != out_b  # different interleavings

@@ -1,0 +1,132 @@
+"""Scaled-down shape tests for every figure/table runner.
+
+These are the reproduction's acceptance tests: each experiment is run
+at CI scale and the *paper's qualitative claims* are asserted — who
+wins, in what direction, and (loosely) by what kind of factor.
+"""
+
+import pytest
+
+from repro.eval.fig3 import run_fig3
+from repro.eval.fig4 import run_fig4
+from repro.eval.fig5 import run_fig5
+from repro.eval.fig6 import run_fig6
+from repro.eval.table1 import run_table1, scaling_table
+from repro.eval.table2 import run_table2
+
+CORES = 16
+BINS = [1, 8, 32]
+UPDATES = 5
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(num_cores=CORES, bins_list=BINS, updates_per_core=UPDATES)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(num_cores=CORES, bins_list=BINS, updates_per_core=UPDATES)
+
+
+def test_fig3_amo_is_roofline(fig3):
+    series = fig3.throughput_series()
+    for index in range(len(fig3.bins)):
+        roofline = series["Atomic Add"][index]
+        for label, values in series.items():
+            assert values[index] <= roofline + 1e-9, label
+
+
+def test_fig3_colibri_beats_lrsc_at_high_contention(fig3):
+    assert fig3.speedup_over_lrsc(1) > 1.5
+
+
+def test_fig3_colibri_close_to_ideal(fig3):
+    series = fig3.throughput_series()
+    for ideal, colibri in zip(series["LRSCwait_ideal"], series["Colibri"]):
+        assert colibri > 0.5 * ideal  # small protocol penalty only
+
+
+def test_fig3_bounded_queue_collapses_under_contention(fig3):
+    """LRSCwait_1 must trail the ideal queue once contention exceeds
+    its single slot (paper: 'much lower performance when the contention
+    is higher than their number of reservations')."""
+    series = fig3.throughput_series()
+    assert series["LRSCwait_1"][0] < series["LRSCwait_ideal"][0]
+
+
+def test_fig3_wait_family_beats_lrsc_everywhere(fig3):
+    series = fig3.throughput_series()
+    for index in range(len(fig3.bins)):
+        assert series["Colibri"][index] > series["LRSC"][index]
+
+
+def test_fig3_render_mentions_all_series(fig3):
+    text = fig3.render()
+    for label in ("Atomic Add", "Colibri", "LRSC"):
+        assert label in text
+
+
+def test_fig4_colibri_wins_everywhere(fig4):
+    assert fig4.colibri_wins_everywhere()
+
+
+def test_fig4_locks_trail_raw_rmw_at_high_contention(fig4):
+    series = fig4.throughput_series()
+    assert series["Colibri lock"][0] < series["Colibri"][0]
+    assert series["LRSC lock"][0] <= series["LRSC"][0] * 1.5
+
+
+def test_fig4_mwait_lock_graceful_at_high_contention(fig4):
+    """The sleeping MCS lock beats the polling TAS locks at 1 bin."""
+    series = fig4.throughput_series()
+    assert series["Mwait lock"][0] > series["LRSC lock"][0]
+
+
+def test_fig5_shapes():
+    result = run_fig5(num_cores=16, bins_list=[1, 4], matmul_dim=8)
+    colibri_label = next(l for l in result.series if "Colibri" in l)
+    # Colibri pollers leave workers essentially untouched...
+    assert result.worst_case(colibri_label) > 0.9
+    # ...and no series shows a speedup from interference.
+    for label, values in result.series.items():
+        assert all(v <= 1.02 for v in values), label
+
+
+def test_fig6_shapes():
+    result = run_fig6(max_cores=16, core_counts=[1, 4, 16], ops_per_core=10)
+    series = result.throughput_series()
+    # Colibri sustains throughput at full system size...
+    assert series["Colibri"][-1] > series["LRSC"][-1]
+    assert series["Colibri"][-1] > series["Atomic Add lock"][-1]
+    # ...and stays fair while LRSC spreads (paper's shaded band).
+    fairness = result.fairness_series()
+    assert fairness["Colibri"][-1] > fairness["LRSC"][-1]
+    assert result.speedup(16, over="LRSC") > 1.5
+
+
+def test_table1_model_close_to_paper():
+    result = run_table1()
+    assert result.max_relative_error() < 0.02
+    assert "Colibri" in result.render()
+
+
+def test_table1_scaling_table_renders():
+    text = scaling_table()
+    assert "Colibri" in text and "1024" in text
+
+
+def test_table2_ordering_and_ratios():
+    result = run_table2(num_cores=CORES, updates_per_core=UPDATES)
+    by_label = {row[0]: row[2] for row in result.rows}
+    assert (by_label["Atomic Add"] < by_label["Colibri"]
+            < by_label["LRSC"] < by_label["Atomic Add lock"])
+    assert result.ratio("LRSC") > 2.5
+    assert result.ratio("Atomic Add lock") > 3
+    assert result.delta_percent("Atomic Add") < 0
+
+
+def test_table2_render_includes_paper_reference():
+    result = run_table2(num_cores=8, updates_per_core=4)
+    text = result.render()
+    assert "paper pJ/op" in text and "884" in text

@@ -1,0 +1,46 @@
+"""Tests for figure-result helper methods and reference data."""
+
+import pytest
+
+from repro.eval.fig3 import FULL_BINS, PAPER_REFERENCE as FIG3_REF, run_fig3
+from repro.eval.fig4 import PAPER_REFERENCE as FIG4_REF
+from repro.eval.fig5 import PAPER_REFERENCE as FIG5_REF, _ratio_label
+from repro.eval.fig6 import PAPER_REFERENCE as FIG6_REF
+from repro.eval.harness import FIG3_SERIES, FIG4_SERIES
+
+
+def test_fig3_reference_covers_series():
+    labels = {s.label for s in FIG3_SERIES}
+    # The paper's "LRSCwait_128" generalizes to "LRSCwait_half" here.
+    assert labels - set(FIG3_REF) == {"LRSCwait_half"}
+    assert set(FIG3_REF) - labels == {"LRSCwait_128"}
+
+
+def test_fig4_reference_covers_series():
+    assert {s.label for s in FIG4_SERIES} == set(FIG4_REF)
+
+
+def test_fig5_ratio_label_matches_paper_style():
+    assert _ratio_label("LRSC", 256, 4) == "LRSC, 252:4"
+    assert "Colibri, 252:4" in FIG5_REF
+
+
+def test_fig6_reference_well_formed():
+    for label, points in FIG6_REF.items():
+        assert set(points) <= {"8", "64"}
+
+
+def test_full_bins_sweep_is_the_papers():
+    assert FULL_BINS == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def test_fig3_caps_bins_to_bank_count():
+    result = run_fig3(num_cores=8, updates_per_core=2)
+    # 8 cores -> 2 tiles -> 32 banks: bins capped at 32.
+    assert max(result.bins) <= 32
+
+
+def test_fig3_speedup_rejects_unknown_bin():
+    result = run_fig3(num_cores=8, bins_list=[1], updates_per_core=2)
+    with pytest.raises(ValueError):
+        result.speedup_over_lrsc(999)

@@ -1,0 +1,46 @@
+"""Tests for result rendering."""
+
+from repro.eval.reporting import (
+    format_value,
+    render_ratio_line,
+    render_series,
+    render_table,
+)
+
+
+def test_format_value_floats():
+    assert format_value(0.0) == "0"
+    assert format_value(0.1234567) == "0.1235"
+    assert format_value(12.34) == "12.3"
+    assert format_value(1234.5) == "1,234"
+
+
+def test_format_value_non_floats():
+    assert format_value(7) == "7"
+    assert format_value("x") == "x"
+    assert format_value(True) == "True"
+
+
+def test_render_table_alignment_and_rule():
+    text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) == {"-"}
+    assert len(lines) == 5
+
+
+def test_render_series_columns():
+    text = render_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+    assert "s1" in text and "s2" in text
+    assert "0.3" in text
+
+
+def test_render_series_handles_short_series():
+    text = render_series("x", [1, 2, 3], {"s": [0.1]})
+    assert text.count("\n") == 4
+
+
+def test_render_ratio_line():
+    assert render_ratio_line("speedup", 10, 2) == "speedup: 5.00x"
+    assert render_ratio_line("speedup", 1, 0) == "speedup: n/a"

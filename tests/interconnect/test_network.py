@@ -1,0 +1,106 @@
+"""Unit tests for the network model: latency, FIFO ordering, throttling."""
+
+from repro.arch.config import SystemConfig
+from repro.arch.topology import Topology
+from repro.engine.simulator import Simulator
+from repro.engine.stats import NetworkStats
+from repro.interconnect.messages import MemRequest, MemResponse, Op
+from repro.interconnect.network import Network, ThrottledPort
+
+
+def build(num_cores=16):
+    config = SystemConfig.scaled(num_cores)
+    sim = Simulator()
+    stats = NetworkStats()
+    network = Network(sim, Topology(config), stats)
+    return config, sim, stats, network
+
+
+def test_request_arrives_after_route_latency():
+    config, sim, stats, network = build()
+    arrivals = []
+    network.register_bank(0, lambda msg: arrivals.append(sim.now))
+    req = MemRequest(op=Op.LW, core_id=0, addr=0)
+    network.send_request(req, bank_id=0)  # local: latency 1
+    sim.run()
+    assert arrivals == [config.latency.local_tile]
+
+
+def test_remote_request_takes_longer():
+    config, sim, stats, network = build()
+    arrivals = {}
+    network.register_bank(0, lambda msg: arrivals.setdefault("local", sim.now))
+    network.register_bank(48, lambda msg: arrivals.setdefault("far", sim.now))
+    network.send_request(MemRequest(op=Op.LW, core_id=0, addr=0), 0)
+    network.send_request(
+        MemRequest(op=Op.LW, core_id=0,
+                   addr=48 * 4), 48)  # tile 3: same group here
+    sim.run()
+    assert arrivals["far"] > arrivals["local"]
+
+
+def test_per_channel_fifo_order():
+    """Messages from one core to one bank arrive in send order."""
+    _config, sim, _stats, network = build()
+    arrivals = []
+    network.register_bank(16, lambda msg: arrivals.append(msg.req_id))
+    first = MemRequest(op=Op.SCWAIT, core_id=0, addr=16 * 4)
+    second = MemRequest(op=Op.LW, core_id=0, addr=16 * 4)
+    network.send_request(first, 16)
+    network.send_request(second, 16)
+    sim.run()
+    assert arrivals == [first.req_id, second.req_id]
+
+
+def test_message_and_hop_accounting():
+    _config, sim, stats, network = build()
+    network.register_bank(0, lambda msg: None)
+    network.register_core(0, lambda msg: None)
+    network.send_request(MemRequest(op=Op.LW, core_id=0, addr=0), 0)
+    network.send_response(MemResponse(op=Op.LW, core_id=0, addr=0), 0)
+    sim.run()
+    assert stats.messages == {"lw": 1, "resp_lw": 1}
+    assert stats.hops == 2  # local: 1 hop each way
+
+
+def test_throttled_port_fifo_spill():
+    port = ThrottledPort(per_cycle=2)
+    slots = [port.next_slot(10) for _ in range(5)]
+    assert slots == [10, 10, 11, 11, 12]
+
+
+def test_throttled_port_resets_on_gap():
+    port = ThrottledPort(per_cycle=1)
+    assert port.next_slot(5) == 5
+    assert port.next_slot(5) == 6
+    assert port.next_slot(100) == 100
+
+
+def test_tile_ingress_throttles_remote_requests():
+    """Many same-cycle remote requests to one tile serialize."""
+    config, sim, stats, network = build()
+    arrivals = []
+    for bank in range(16, 32):  # tile 1
+        network.register_bank(bank, lambda msg: arrivals.append(sim.now))
+    # 8 remote cores (not in tile 1) target different banks of tile 1.
+    for index, core in enumerate([0, 1, 2, 3, 8, 9, 10, 11]):
+        addr = (16 + index) * 4
+        network.send_request(
+            MemRequest(op=Op.LW, core_id=core, addr=addr), 16 + index)
+    sim.run()
+    assert len(set(arrivals)) == len(arrivals)  # all serialized
+    assert stats.ingress_wait_cycles > 0
+
+
+def test_local_requests_bypass_ingress():
+    config, sim, stats, network = build()
+    arrivals = []
+    for bank in range(4):
+        network.register_bank(bank, lambda msg: arrivals.append(sim.now))
+    for core in range(4):  # all in tile 0, to tile-0 banks
+        network.send_request(
+            MemRequest(op=Op.LW, core_id=core, addr=core * 4), core)
+    sim.run()
+    # All arrive at the same cycle: no shared-port serialization.
+    assert len(set(arrivals)) == 1
+    assert stats.ingress_wait_cycles == 0

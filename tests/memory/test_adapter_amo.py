@@ -1,0 +1,101 @@
+"""Unit tests for the base adapter (LW/SW/AMO) and the AMO-only unit."""
+
+import pytest
+
+from repro.engine.errors import ProtocolViolation
+from repro.interconnect.messages import Op, Status
+from repro.memory.adapter import AmoAdapter, AtomicAdapter
+
+from .fake_controller import FakeController, request
+
+
+@pytest.fixture
+def unit():
+    ctrl = FakeController()
+    adapter = AmoAdapter(ctrl)
+    return ctrl, adapter
+
+
+def test_lw_returns_value(unit):
+    ctrl, adapter = unit
+    ctrl.write(8, 77)
+    adapter.handle(request(Op.LW, core=0, addr=8))
+    resp = ctrl.pop_response()
+    assert resp.value == 77 and resp.status is Status.OK
+
+
+def test_sw_stores(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.SW, core=0, addr=4, value=9))
+    assert ctrl.read(4) == 9
+    assert ctrl.pop_response().status is Status.OK
+
+
+def test_amo_add_returns_old(unit):
+    ctrl, adapter = unit
+    ctrl.write(0, 10)
+    adapter.handle(request(Op.AMO_ADD, core=1, addr=0, value=5))
+    assert ctrl.pop_response().value == 10
+    assert ctrl.read(0) == 15
+
+
+def test_amo_swap(unit):
+    ctrl, adapter = unit
+    ctrl.write(0, 3)
+    adapter.handle(request(Op.AMO_SWAP, core=0, addr=0, value=99))
+    assert ctrl.pop_response().value == 3
+    assert ctrl.read(0) == 99
+
+
+def test_amo_bitwise(unit):
+    ctrl, adapter = unit
+    ctrl.write(0, 0b1100)
+    adapter.handle(request(Op.AMO_AND, core=0, addr=0, value=0b1010))
+    assert ctrl.read(0) == 0b1000
+    adapter.handle(request(Op.AMO_OR, core=0, addr=0, value=0b0001))
+    assert ctrl.read(0) == 0b1001
+    adapter.handle(request(Op.AMO_XOR, core=0, addr=0, value=0b1111))
+    assert ctrl.read(0) == 0b0110
+
+
+def test_amo_max_min_are_signed(unit):
+    ctrl, adapter = unit
+    ctrl.write(0, 0xFFFF_FFFF)  # -1 signed
+    adapter.handle(request(Op.AMO_MAX, core=0, addr=0, value=3))
+    assert ctrl.read(0) == 3
+    adapter.handle(request(Op.AMO_MIN, core=0, addr=0, value=-5))
+    assert ctrl.bank.to_signed(ctrl.read(0)) == -5
+
+
+def test_amo_add_wraps_32bit(unit):
+    ctrl, adapter = unit
+    ctrl.write(0, 0xFFFF_FFFF)
+    adapter.handle(request(Op.AMO_ADD, core=0, addr=0, value=2))
+    assert ctrl.read(0) == 1
+
+
+def test_sc_fails_gracefully_on_amo_unit(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+    assert ctrl.read(0) == 0
+
+
+def test_lr_rejected_on_amo_unit(unit):
+    ctrl, adapter = unit
+    with pytest.raises(ProtocolViolation):
+        adapter.handle(request(Op.LR, core=0, addr=0))
+
+
+def test_wait_ops_rejected_on_amo_unit(unit):
+    ctrl, adapter = unit
+    for op in (Op.LRWAIT, Op.SCWAIT, Op.MWAIT):
+        with pytest.raises(ProtocolViolation):
+            adapter.handle(request(op, core=0, addr=0))
+
+
+def test_base_adapter_rejects_reserved_family():
+    ctrl = FakeController()
+    adapter = AtomicAdapter(ctrl)
+    with pytest.raises(ProtocolViolation):
+        adapter.handle(request(Op.SC, core=0, addr=0))

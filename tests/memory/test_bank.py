@@ -1,0 +1,49 @@
+"""Unit tests for SPM bank storage."""
+
+import pytest
+
+from repro.engine.errors import MemoryError_
+from repro.memory.bank import SpmBank
+
+
+def test_read_write_roundtrip():
+    bank = SpmBank(0, 16)
+    bank.write(3, 42)
+    assert bank.read(3) == 42
+    assert bank.read(0) == 0
+
+
+def test_values_truncate_to_word_width():
+    bank = SpmBank(0, 4)
+    bank.write(0, 1 << 40)
+    assert bank.read(0) == 0
+    bank.write(0, 0x1_2345_6789)
+    assert bank.read(0) == 0x2345_6789
+
+
+def test_negative_values_wrap_to_unsigned():
+    bank = SpmBank(0, 4)
+    bank.write(0, -1)
+    assert bank.read(0) == 0xFFFF_FFFF
+
+
+def test_to_signed():
+    bank = SpmBank(0, 4)
+    assert bank.to_signed(0xFFFF_FFFF) == -1
+    assert bank.to_signed(0x7FFF_FFFF) == 0x7FFF_FFFF
+    assert bank.to_signed(0x8000_0000) == -(1 << 31)
+    assert bank.to_signed(5) == 5
+
+
+def test_row_bounds_checked():
+    bank = SpmBank(0, 8)
+    with pytest.raises(MemoryError_):
+        bank.read(8)
+    with pytest.raises(MemoryError_):
+        bank.write(-1, 0)
+
+
+def test_word64_mask():
+    bank = SpmBank(0, 4, word_bytes=8)
+    bank.write(0, (1 << 64) + 7)
+    assert bank.read(0) == 7

@@ -1,0 +1,228 @@
+"""Unit tests for the Colibri controller state machine.
+
+These drive the adapter directly (no network), playing both sides of
+the protocol: the tests inject the WakeUpRequests a Qnode would send,
+in the orders the paper's §IV-A correctness argument covers.
+"""
+
+import pytest
+
+from repro.engine.errors import ProtocolViolation, SimulationError
+from repro.interconnect.messages import Op, Status, WakeUpRequest
+from repro.memory.colibri import ColibriAdapter
+
+from .fake_controller import FakeController, request
+
+
+def make(num_addresses=4, strict=True):
+    ctrl = FakeController()
+    adapter = ColibriAdapter(ctrl, num_addresses=num_addresses,
+                             strict=strict)
+    return ctrl, adapter
+
+
+def wakeup(addr, from_core, successor):
+    return WakeUpRequest(bank_id=0, addr=addr, from_core=from_core,
+                         successor=successor)
+
+
+def test_first_lrwait_allocates_and_serves():
+    ctrl, adapter = make()
+    ctrl.write(0, 21)
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    resp = ctrl.pop_response()
+    assert resp.value == 21 and resp.status is Status.OK
+    state = adapter.queue_state(0)
+    assert state.head == 0 and state.tail == 0 and state.reservation_valid
+
+
+def test_second_lrwait_moves_tail_and_sends_successor_update():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    assert len(ctrl.responses) == 1  # core 1 withheld
+    update = ctrl.successor_updates[0]
+    assert update.prev_core == 0 and update.successor == 1
+    state = adapter.queue_state(0)
+    assert state.head == 0 and state.tail == 1
+
+
+def test_scwait_sole_core_frees_queue():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=9))
+    resp = ctrl.last_response()
+    assert resp.status is Status.OK and not resp.successor_pending
+    assert ctrl.read(0) == 9
+    assert adapter.queue_state(0) is None  # registers freed
+
+
+def test_scwait_with_successor_invalidates_head_and_waits_wakeup():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=9))
+    resp = ctrl.last_response()
+    assert resp.status is Status.OK and resp.successor_pending
+    state = adapter.queue_state(0)
+    assert not state.head_valid  # temporarily invalidated (Fig. 2)
+    # Qnode bounce arrives: successor promoted and served value 9.
+    adapter.handle_wakeup(wakeup(0, from_core=0, successor=1))
+    served = ctrl.last_response()
+    assert served.op is Op.LRWAIT and served.core_id == 1
+    assert served.value == 9
+    state = adapter.queue_state(0)
+    assert state.head == 1 and state.head_valid and state.reservation_valid
+
+
+def test_three_core_chain_fifo():
+    ctrl, adapter = make()
+    for core in range(3):
+        adapter.handle(request(Op.LRWAIT, core=core, addr=0))
+    adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=1))
+    adapter.handle_wakeup(wakeup(0, 0, 1))
+    adapter.handle(request(Op.SCWAIT, core=1, addr=0, value=2))
+    adapter.handle_wakeup(wakeup(0, 1, 2))
+    adapter.handle(request(Op.SCWAIT, core=2, addr=0, value=3))
+    served = [r.core_id for r in ctrl.responses if r.op is Op.LRWAIT]
+    assert served == [0, 1, 2]
+    assert ctrl.read(0) == 3
+    assert adapter.queue_state(0) is None
+
+
+def test_interfering_store_fails_head_but_chain_continues():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    adapter.handle(request(Op.SW, core=5, addr=0, value=50))
+    adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=1))
+    resp = ctrl.last_response()
+    assert resp.status is Status.SC_FAIL and resp.successor_pending
+    assert ctrl.read(0) == 50  # failed SCwait does not write
+    adapter.handle_wakeup(wakeup(0, 0, 1))
+    served = ctrl.last_response()
+    assert served.core_id == 1 and served.value == 50
+
+
+def test_address_slots_exhaustion_rejects():
+    ctrl, adapter = make(num_addresses=2)
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=4))
+    adapter.handle(request(Op.LRWAIT, core=2, addr=8))
+    assert ctrl.last_response().status is Status.QUEUE_FULL
+    assert sorted(adapter.tracked_addresses()) == [0, 4]
+
+
+def test_slot_reusable_after_free():
+    ctrl, adapter = make(num_addresses=1)
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=1))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=4))
+    assert ctrl.last_response().status is Status.OK
+
+
+def test_same_queue_not_limited_by_slot_count():
+    ctrl, adapter = make(num_addresses=1)
+    for core in range(5):
+        adapter.handle(request(Op.LRWAIT, core=core, addr=0))
+    # Only one tracked address, arbitrarily many waiters on it.
+    rejections = [r for r in ctrl.responses
+                  if r.status is Status.QUEUE_FULL]
+    assert rejections == []
+
+
+def test_scwait_without_membership_raises():
+    ctrl, adapter = make()
+    with pytest.raises(ProtocolViolation):
+        adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=1))
+
+
+def test_scwait_from_non_head_raises():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    with pytest.raises(ProtocolViolation):
+        adapter.handle(request(Op.SCWAIT, core=1, addr=0, value=1))
+
+
+def test_double_enqueue_same_core_raises():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    with pytest.raises(ProtocolViolation):
+        adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+
+
+def test_wakeup_for_untracked_address_raises():
+    ctrl, adapter = make()
+    with pytest.raises(SimulationError):
+        adapter.handle_wakeup(wakeup(0, 0, 1))
+
+
+def test_wakeup_while_head_valid_raises():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    with pytest.raises(SimulationError):
+        adapter.handle_wakeup(wakeup(0, 0, 1))
+
+
+# -- Mwait on Colibri (§IV-B) -----------------------------------------------------
+
+def test_mwait_mismatch_completes_and_frees():
+    ctrl, adapter = make()
+    ctrl.write(0, 5)
+    adapter.handle(request(Op.MWAIT, core=0, addr=0, expected=4))
+    resp = ctrl.pop_response()
+    assert resp.value == 5 and not resp.successor_pending
+    assert adapter.queue_state(0) is None
+
+
+def test_mwait_monitors_and_wakes_on_write():
+    ctrl, adapter = make()
+    ctrl.write(0, 4)
+    adapter.handle(request(Op.MWAIT, core=0, addr=0, expected=4))
+    assert ctrl.responses == []
+    adapter.handle(request(Op.SW, core=1, addr=0, value=6))
+    mwait = [r for r in ctrl.responses if r.op is Op.MWAIT]
+    assert mwait and mwait[0].value == 6 and not mwait[0].successor_pending
+    assert adapter.queue_state(0) is None
+
+
+def test_mwait_chain_wakes_through_wakeups():
+    ctrl, adapter = make()
+    ctrl.write(0, 0)
+    adapter.handle(request(Op.MWAIT, core=0, addr=0, expected=0))
+    adapter.handle(request(Op.MWAIT, core=1, addr=0, expected=0))
+    adapter.handle(request(Op.SW, core=9, addr=0, value=1))
+    # Head woken with successor_pending: the wake of core 1 must come
+    # through core 0's Qnode bounce, not directly (§IV-B).
+    head_resp = [r for r in ctrl.responses if r.op is Op.MWAIT][0]
+    assert head_resp.core_id == 0 and head_resp.successor_pending
+    adapter.handle_wakeup(wakeup(0, 0, 1))
+    woken = [r.core_id for r in ctrl.responses if r.op is Op.MWAIT]
+    assert woken == [0, 1]
+    assert adapter.queue_state(0) is None
+
+
+def test_mwait_behind_lrwait_head():
+    ctrl, adapter = make()
+    ctrl.write(0, 0)
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    adapter.handle(request(Op.MWAIT, core=1, addr=0, expected=0))
+    adapter.handle(request(Op.SCWAIT, core=0, addr=0, value=3))
+    adapter.handle_wakeup(wakeup(0, 0, 1))
+    # Served Mwait sees 3 != 0 -> completes immediately.
+    mwait = [r for r in ctrl.responses if r.op is Op.MWAIT]
+    assert mwait and mwait[0].value == 3
+
+
+def test_pending_waiters_accounting():
+    ctrl, adapter = make()
+    adapter.handle(request(Op.LRWAIT, core=0, addr=0))
+    assert adapter.pending_waiters() == 0  # head served, not pending
+    adapter.handle(request(Op.LRWAIT, core=1, addr=0))
+    assert adapter.pending_waiters() == 1
+    ctrl.write(4, 0)
+    adapter.handle(request(Op.MWAIT, core=2, addr=4, expected=0))
+    assert adapter.pending_waiters() == 2  # monitoring head counts

@@ -1,0 +1,99 @@
+"""Unit tests for the MemPool-style single-slot LR/SC adapter."""
+
+import pytest
+
+from repro.interconnect.messages import Op, Status
+from repro.memory.lrsc import LrscAdapter
+
+from .fake_controller import FakeController, request
+
+
+@pytest.fixture
+def unit():
+    ctrl = FakeController()
+    adapter = LrscAdapter(ctrl)
+    return ctrl, adapter
+
+
+def test_lr_sc_success(unit):
+    ctrl, adapter = unit
+    ctrl.write(0, 5)
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    assert ctrl.pop_response().value == 5
+    adapter.handle(request(Op.SC, core=0, addr=0, value=6))
+    assert ctrl.pop_response().status is Status.OK
+    assert ctrl.read(0) == 6
+    assert adapter.reservation is None
+
+
+def test_newer_lr_steals_single_slot(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.LR, core=1, addr=4))  # steals the slot
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+    assert ctrl.read(0) == 0  # failed SC writes nothing
+    adapter.handle(request(Op.SC, core=1, addr=4, value=2))
+    assert ctrl.pop_response().status is Status.OK
+
+
+def test_sc_without_reservation_fails(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+
+
+def test_sc_wrong_address_fails(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=4, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+
+
+def test_store_clears_matching_reservation(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.SW, core=1, addr=0, value=9))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+    assert ctrl.read(0) == 9
+
+
+def test_store_elsewhere_keeps_reservation(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.SW, core=1, addr=8, value=9))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.OK
+
+
+def test_amo_clears_reservation(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.AMO_ADD, core=1, addr=0, value=1))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=5))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+
+
+def test_successful_sc_consumes_reservation(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    ctrl.responses.clear()
+    # A second SC with no new LR must fail.
+    adapter.handle(request(Op.SC, core=0, addr=0, value=2))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+    assert ctrl.read(0) == 1
+
+
+def test_reservation_stats_counted(unit):
+    ctrl, adapter = unit
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.LR, core=1, addr=0))
+    assert ctrl.stats.reservations_placed == 2
+    assert ctrl.stats.reservations_invalidated == 1

@@ -1,0 +1,108 @@
+"""Unit tests for the related-work LR/SC adapters (§II comparators)."""
+
+import pytest
+
+from repro.interconnect.messages import Op, Status
+from repro.memory.lrsc_variants import LrscBankAdapter, LrscTableAdapter
+
+from .fake_controller import FakeController, request
+
+
+# -- ATUN-style reservation table -------------------------------------------------
+
+@pytest.fixture
+def table():
+    ctrl = FakeController()
+    return ctrl, LrscTableAdapter(ctrl)
+
+
+def test_table_lr_does_not_evict_other_cores(table):
+    ctrl, adapter = table
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.LR, core=1, addr=4))
+    assert adapter.live_reservations == 2
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    adapter.handle(request(Op.SC, core=1, addr=4, value=2))
+    assert all(r.status is Status.OK for r in ctrl.responses)
+
+
+def test_table_sc_fails_on_real_conflict_only(table):
+    ctrl, adapter = table
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.LR, core=1, addr=0))  # same address is fine
+    adapter.handle(request(Op.SC, core=1, addr=0, value=7))  # core 1 wins
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=9))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+    assert ctrl.read(0) == 7
+
+
+def test_table_store_elsewhere_does_not_invalidate(table):
+    ctrl, adapter = table
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.SW, core=1, addr=8, value=1))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=3))
+    assert ctrl.pop_response().status is Status.OK
+
+
+def test_table_new_lr_replaces_own_slot(table):
+    ctrl, adapter = table
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.LR, core=0, addr=4))  # one slot per core
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL  # slot moved on
+    adapter.handle(request(Op.SC, core=0, addr=4, value=1))
+    assert ctrl.pop_response().status is Status.OK  # slot held addr 4
+
+
+def test_table_sc_without_lr_fails(table):
+    ctrl, adapter = table
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+
+
+# -- GRVI-style bank-granularity bits ------------------------------------------------
+
+@pytest.fixture
+def bank():
+    ctrl = FakeController()
+    return ctrl, LrscBankAdapter(ctrl)
+
+
+def test_bank_lr_sc_success(bank):
+    ctrl, adapter = bank
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.SC, core=0, addr=0, value=5))
+    assert ctrl.responses[-1].status is Status.OK
+    assert ctrl.read(0) == 5
+    assert adapter.live_reservations == 0  # own store cleared the bit
+
+
+def test_bank_spurious_failure_from_unrelated_store(bank):
+    ctrl, adapter = bank
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    # A store to a *different* address of the same bank.
+    adapter.handle(request(Op.SW, core=1, addr=12, value=1))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=0, addr=0, value=5))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+
+
+def test_bank_winning_sc_clears_all_bits(bank):
+    ctrl, adapter = bank
+    adapter.handle(request(Op.LR, core=0, addr=0))
+    adapter.handle(request(Op.LR, core=1, addr=4))
+    adapter.handle(request(Op.SC, core=0, addr=0, value=1))
+    ctrl.responses.clear()
+    adapter.handle(request(Op.SC, core=1, addr=4, value=2))
+    assert ctrl.pop_response().status is Status.SC_FAIL
+
+
+def test_bank_multiple_reserved_cores(bank):
+    ctrl, adapter = bank
+    for core in range(4):
+        adapter.handle(request(Op.LR, core=core, addr=0))
+    assert adapter.live_reservations == 4

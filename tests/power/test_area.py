@@ -1,0 +1,74 @@
+"""Tests for the Table I area model."""
+
+import pytest
+
+from repro.power.area import (
+    PAPER_TABLE1,
+    TILE_BASE_KGE,
+    base_tile,
+    colibri_tile,
+    lrscwait_tile,
+    system_overhead_kge,
+    table1_rows,
+)
+
+
+def test_base_tile_matches_paper():
+    assert base_tile().kge == PAPER_TABLE1["MemPool tile"][0]
+    assert base_tile().percent == 100.0
+
+
+@pytest.mark.parametrize("slots,label", [(1, "with LRSCwait_1"),
+                                         (8, "with LRSCwait_8")])
+def test_lrscwait_rows_close_to_paper(slots, label):
+    model = lrscwait_tile(slots).kge
+    paper = PAPER_TABLE1[label][0]
+    assert abs(model - paper) / paper < 0.02
+
+
+@pytest.mark.parametrize("addresses", [1, 2, 4, 8])
+def test_colibri_rows_close_to_paper(addresses):
+    tile = colibri_tile(addresses)
+    paper = PAPER_TABLE1[tile.label][0]
+    assert abs(tile.kge - paper) / paper < 0.02
+
+
+def test_colibri_cheaper_than_equivalent_lrscwait():
+    """The paper's point: 8 Colibri queues cost about as much as a
+    single-slot central queue, and far less than 8 slots."""
+    assert colibri_tile(8).kge < lrscwait_tile(8).kge
+    assert abs(colibri_tile(8).kge - lrscwait_tile(1).kge) < 30
+
+
+def test_ideal_lrscwait_physically_infeasible():
+    """§III-A: sizing every bank's queue for 256 cores multiplies the
+    tile area — 'physically infeasible for a system of MemPool's
+    scale'."""
+    ideal = lrscwait_tile(256).kge
+    assert ideal > 3 * TILE_BASE_KGE
+
+
+def test_system_scaling_quadratic_vs_linear():
+    """Total added area: the ideal queue grows ~quadratically with
+    cores, Colibri linearly."""
+    ideal_small = system_overhead_kge(64, "lrscwait_ideal")
+    ideal_large = system_overhead_kge(256, "lrscwait_ideal")
+    colibri_small = system_overhead_kge(64, "colibri")
+    colibri_large = system_overhead_kge(256, "colibri")
+    assert ideal_large / ideal_small > 10      # ~16x for 4x cores
+    assert 3 < colibri_large / colibri_small < 5  # ~4x for 4x cores
+
+
+def test_overhead_monotone_in_parameters():
+    assert lrscwait_tile(2).kge > lrscwait_tile(1).kge
+    assert colibri_tile(8).kge > colibri_tile(1).kge
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        system_overhead_kge(64, "bogus")
+
+
+def test_table1_rows_cover_all_published_rows():
+    labels = {tile.label for tile in table1_rows()}
+    assert labels == set(PAPER_TABLE1)

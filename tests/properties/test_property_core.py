@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.address_map import AddressMap
+from repro.arch.config import SystemConfig
+from repro.interconnect.network import ThrottledPort
+from repro.memory.bank import SpmBank
+from repro.sync.backoff import ExponentialBackoff, FixedBackoff
+
+import random
+
+
+@given(words=st.integers(1, 64),
+       writes=st.lists(st.tuples(st.integers(0, 63),
+                                 st.integers(-2 ** 40, 2 ** 40)),
+                       max_size=50))
+def test_bank_values_always_word_masked(words, writes):
+    bank = SpmBank(0, words)
+    for row, value in writes:
+        bank.write(row % words, value)
+    for row in range(words):
+        assert 0 <= bank.read(row) <= 0xFFFF_FFFF
+
+
+@given(value=st.integers(0, 0xFFFF_FFFF))
+def test_to_signed_roundtrip(value):
+    bank = SpmBank(0, 1)
+    signed = bank.to_signed(value)
+    assert -(1 << 31) <= signed < (1 << 31)
+    assert signed & 0xFFFF_FFFF == value
+
+
+@given(num_cores=st.sampled_from([4, 8, 16, 32, 64]),
+       word=st.integers(0, 2000))
+def test_address_map_locate_inverse(num_cores, word):
+    amap = AddressMap(SystemConfig.scaled(num_cores))
+    word = word % amap.num_banks * amap.words_per_bank if False else word
+    addr = (word % (amap.num_banks * amap.words_per_bank)) * 4
+    bank, row = amap.locate(addr)
+    assert amap.address_of(bank, row) == addr
+
+
+@given(per_cycle=st.integers(1, 4),
+       arrivals=st.lists(st.integers(0, 50), min_size=1, max_size=60))
+def test_throttled_port_invariants(per_cycle, arrivals):
+    """Slots never precede arrival, never decrease across FIFO calls,
+    and never exceed the per-cycle budget."""
+    port = ThrottledPort(per_cycle)
+    arrivals = sorted(arrivals)  # FIFO callers present ordered arrivals
+    slots = [port.next_slot(arrival) for arrival in arrivals]
+    for arrival, slot in zip(arrivals, slots):
+        assert slot >= arrival
+    assert slots == sorted(slots)
+    per_slot_counts = {}
+    for slot in slots:
+        per_slot_counts[slot] = per_slot_counts.get(slot, 0) + 1
+    assert all(count <= per_cycle for count in per_slot_counts.values())
+
+
+@given(window=st.integers(1, 4096), attempt=st.integers(0, 100),
+       seed=st.integers(0, 2 ** 20))
+def test_fixed_backoff_always_in_window(window, attempt, seed):
+    policy = FixedBackoff(window)
+    delay = policy.delay(random.Random(seed), attempt)
+    assert 1 <= delay <= window
+
+
+@given(base=st.integers(1, 64), cap=st.integers(64, 8192),
+       attempt=st.integers(0, 10 ** 9), seed=st.integers(0, 2 ** 20))
+def test_exponential_backoff_always_in_cap(base, cap, attempt, seed):
+    policy = ExponentialBackoff(base=base, cap=cap)
+    delay = policy.delay(random.Random(seed), attempt)
+    assert 1 <= delay <= cap

@@ -1,0 +1,93 @@
+"""Property tests for Mwait semantics (no lost wake-ups, no phantoms).
+
+The dangerous bug class for monitor-style primitives is the *lost
+wake-up*: a waiter that sleeps forever because the store landed in the
+check-then-sleep window.  Mwait closes it with the expected value;
+these properties drive randomized timing through both wait-capable
+variants and assert every waiter always wakes with a current value.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.interconnect.messages import Status
+
+SIM_SETTINGS = settings(max_examples=15, deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+wait_variants = st.sampled_from([VariantSpec.lrscwait_ideal(),
+                                 VariantSpec.lrscwait(2),
+                                 VariantSpec.colibri(num_addresses=2)])
+
+
+@SIM_SETTINGS
+@given(variant=wait_variants,
+       waiters=st.integers(1, 7),
+       store_delay=st.integers(0, 120),
+       waiter_jitter=st.integers(0, 120),
+       seed=st.integers(0, 300))
+def test_no_lost_wakeups(variant, waiters, store_delay, waiter_jitter,
+                         seed):
+    """Whatever the relative timing of the store and the Mwaits, every
+    waiter terminates having observed the new value."""
+    machine = Machine(SystemConfig.scaled(8), variant, seed=seed)
+    flag = machine.allocator.alloc_interleaved(1)
+    observed = []
+
+    def writer(api):
+        yield from api.compute(store_delay)
+        yield from api.sw(flag, 1)
+
+    def waiter(api):
+        yield from api.compute(1 + api.rng.randrange(waiter_jitter + 1))
+        while True:
+            resp = yield from api.mwait(flag, expected=0)
+            if resp.status is Status.QUEUE_FULL:
+                value = yield from api.lw(flag)
+                if value != 0:
+                    observed.append(value)
+                    return
+                yield from api.compute(4)
+                continue
+            if resp.value != 0:
+                observed.append(resp.value)
+                return
+
+    machine.load(0, writer)
+    machine.load_range(range(1, 1 + waiters), waiter)
+    machine.run()  # would raise DeadlockError on any lost wake-up
+    assert observed == [1] * waiters
+
+
+@SIM_SETTINGS
+@given(variant=wait_variants,
+       values=st.lists(st.integers(1, 100), min_size=1, max_size=6,
+                       unique=True),
+       seed=st.integers(0, 300))
+def test_mwait_never_reports_stale_value(variant, values, seed):
+    """A woken Mwait must report a value different from its expected
+    one (the whole point of carrying the expectation)."""
+    machine = Machine(SystemConfig.scaled(8), variant, seed=seed)
+    flag = machine.allocator.alloc_interleaved(1)
+    reports = []
+
+    def writer(api):
+        for value in values:
+            yield from api.compute(13)
+            yield from api.sw(flag, value)
+
+    def waiter(api):
+        current = 0
+        while current != values[-1]:
+            resp = yield from api.mwait(flag, expected=current)
+            if resp.status is Status.QUEUE_FULL:
+                current = yield from api.lw(flag)
+                continue
+            assert resp.value != current
+            current = resp.value
+            reports.append(current)
+
+    machine.load(0, writer)
+    machine.load(1, waiter)
+    machine.run()
+    assert reports[-1] == values[-1]

@@ -1,0 +1,78 @@
+"""Property-based tests for the concurrent queue and the allocator."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.algorithms.mcs_queue import ConcurrentQueue
+from repro.arch.allocator import Allocator
+from repro.arch.config import SystemConfig as Config
+
+SIM_SETTINGS = settings(max_examples=10, deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+
+@SIM_SETTINGS
+@given(method=st.sampled_from(["lrsc", "wait", "lock"]),
+       num_cores=st.sampled_from([4, 8]),
+       per_core=st.integers(2, 5),
+       dequeues=st.integers(0, 2),
+       seed=st.integers(0, 500))
+def test_queue_conservation_under_random_shapes(method, num_cores,
+                                                per_core, dequeues, seed):
+    variant = {"lrsc": VariantSpec.lrsc(),
+               "wait": VariantSpec.colibri(),
+               "lock": VariantSpec.amo()}[method]
+    dequeues = min(dequeues, per_core)
+    machine = Machine(SystemConfig.scaled(num_cores), variant, seed=seed)
+    queue = ConcurrentQueue(machine, method, nodes_per_core=per_core)
+    consumed = []
+
+    def kernel(api):
+        for seq in range(per_core):
+            yield from queue.enqueue(api, api.core_id * 1000 + seq)
+            yield from api.compute(api.rng.randrange(8))
+        for _ in range(dequeues):
+            while True:
+                ok, value = yield from queue.dequeue(api)
+                if ok:
+                    consumed.append(value)
+                    break
+                yield from api.compute(4)
+
+    machine.load_all(kernel)
+    machine.run()
+    produced = {core * 1000 + seq
+                for core in range(num_cores) for seq in range(per_core)}
+    remaining = queue.drain_values()
+    assert len(set(consumed)) == len(consumed)
+    assert set(consumed) | set(remaining) == produced
+    assert len(consumed) + len(remaining) == len(produced)
+
+
+@given(sizes=st.lists(st.integers(1, 30), min_size=1, max_size=20))
+def test_interleaved_allocations_never_overlap(sizes):
+    alloc = Allocator(Config.scaled(16))
+    claimed = set()
+    for size in sizes:
+        base = alloc.alloc_interleaved(size)
+        words = {base + 4 * i for i in range(size)}
+        assert not words & claimed
+        claimed |= words
+
+
+@given(requests=st.lists(
+    st.tuples(st.integers(0, 63), st.integers(1, 4)),
+    min_size=1, max_size=30))
+def test_pinned_allocations_never_overlap(requests):
+    alloc = Allocator(Config.scaled(16))
+    claimed = set()
+    stride = alloc.config.num_banks * 4
+    for bank, size in requests:
+        bank = bank % alloc.config.num_banks
+        try:
+            base = alloc.alloc_in_bank(bank, size)
+        except Exception:
+            continue  # bank exhausted is fine; overlap is not
+        words = {base + stride * i for i in range(size)}
+        assert not words & claimed
+        claimed |= words

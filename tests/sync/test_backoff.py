@@ -1,0 +1,42 @@
+"""Unit tests for backoff policies."""
+
+import random
+
+from repro.sync.backoff import ExponentialBackoff, FixedBackoff, NoBackoff
+
+
+def test_no_backoff_is_zero():
+    policy = NoBackoff()
+    rng = random.Random(0)
+    assert all(policy.delay(rng, attempt) == 0 for attempt in range(10))
+
+
+def test_fixed_backoff_within_window():
+    policy = FixedBackoff(window=128)
+    rng = random.Random(1)
+    delays = [policy.delay(rng, attempt) for attempt in range(200)]
+    assert all(1 <= d <= 128 for d in delays)
+    assert len(set(delays)) > 10  # actually randomized
+
+
+def test_exponential_backoff_grows_then_caps():
+    policy = ExponentialBackoff(base=8, cap=256)
+    rng = random.Random(2)
+    early_max = max(policy.delay(rng, 0) for _ in range(100))
+    late = [policy.delay(rng, 20) for _ in range(100)]
+    assert early_max <= 16
+    assert all(1 <= d <= 256 for d in late)
+    assert max(late) > 128  # the cap region is actually reached
+
+
+def test_exponential_backoff_huge_attempt_does_not_overflow():
+    policy = ExponentialBackoff(base=8, cap=256)
+    rng = random.Random(3)
+    assert 1 <= policy.delay(rng, 10 ** 6) <= 256
+
+
+def test_policies_are_deterministic_given_rng():
+    policy = FixedBackoff(window=64)
+    a = [policy.delay(random.Random(42), i) for i in range(5)]
+    b = [policy.delay(random.Random(42), i) for i in range(5)]
+    assert a == b

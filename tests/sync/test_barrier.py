@@ -1,0 +1,75 @@
+"""Tests for the sense-reversing barrier."""
+
+from repro import VariantSpec
+from repro.sync.barrier import CentralBarrier
+
+from ..conftest import make_machine
+
+
+def run_phases(machine, barrier, phases=3):
+    """Each core logs (phase, core) after each barrier; the barrier is
+    correct iff no core starts phase p+1 before all finished phase p."""
+    log = []
+
+    def kernel(api):
+        for phase in range(phases):
+            yield from api.compute(1 + api.rng.randrange(30))
+            yield from barrier.wait(api)
+            log.append((phase, api.core_id, machine.sim.now))
+
+    machine.load_all(kernel)
+    machine.run()
+    return log
+
+
+def assert_phases_ordered(log, num_cores, phases):
+    by_phase = {}
+    for phase, core, cycle in log:
+        by_phase.setdefault(phase, []).append(cycle)
+    for phase in range(phases - 1):
+        assert len(by_phase[phase]) == num_cores
+        # Everyone leaves phase p before anyone leaves phase p+1...
+        assert max(by_phase[phase]) <= min(by_phase[phase + 1])
+
+
+def test_barrier_with_mwait_on_colibri():
+    machine = make_machine(8, VariantSpec.colibri(), seed=1)
+    barrier = CentralBarrier.create(machine, use_mwait=True)
+    log = run_phases(machine, barrier)
+    assert_phases_ordered(log, 8, 3)
+
+
+def test_barrier_with_polling_on_amo():
+    machine = make_machine(8, VariantSpec.amo(), seed=2)
+    barrier = CentralBarrier.create(machine, use_mwait=False)
+    log = run_phases(machine, barrier)
+    assert_phases_ordered(log, 8, 3)
+
+
+def test_barrier_subset_of_cores():
+    machine = make_machine(8, VariantSpec.colibri(), seed=3)
+    barrier = CentralBarrier.create(machine, parties=4, use_mwait=True)
+    log = []
+
+    def kernel(api):
+        yield from barrier.wait(api)
+        log.append(api.core_id)
+
+    machine.load_range(range(4), kernel)
+    machine.run()
+    assert sorted(log) == [0, 1, 2, 3]
+
+
+def test_mwait_barrier_sleeps_instead_of_polling():
+    machine_mwait = make_machine(8, VariantSpec.colibri(), seed=4)
+    barrier = CentralBarrier.create(machine_mwait, use_mwait=True)
+
+    def kernel(api):
+        # Core 0 arrives very late; everyone else waits.
+        if api.core_id == 0:
+            yield from api.compute(500)
+        yield from barrier.wait(api)
+
+    machine_mwait.load_all(kernel)
+    stats = machine_mwait.run()
+    assert stats.total_sleep_cycles > 7 * 300  # waiters slept, not spun

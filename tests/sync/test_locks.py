@@ -1,0 +1,141 @@
+"""Mutual-exclusion tests for every lock implementation.
+
+The harness increments a plain (non-atomic) shared counter inside the
+critical section; with correct mutual exclusion the final value equals
+the number of acquisitions whatever the interleaving.  A deliberately
+broken "no-op lock" control confirms the harness actually catches
+races.
+"""
+
+import pytest
+
+from repro import VariantSpec
+from repro.sync.backoff import FixedBackoff
+from repro.sync.locks import (
+    AmoSpinLock,
+    ColibriSpinLock,
+    LrscSpinLock,
+    MwaitMcsLock,
+    TicketLock,
+)
+
+from ..conftest import make_machine
+
+CORES = 8
+ROUNDS = 5
+
+
+def exercise(machine, lock, cores=CORES, rounds=ROUNDS):
+    counter = machine.allocator.alloc_interleaved(1)
+
+    def kernel(api):
+        for _ in range(rounds):
+            yield from lock.acquire(api)
+            value = yield from api.lw(counter)
+            yield from api.compute(2)  # widen the race window
+            yield from api.sw(counter, value + 1)
+            yield from lock.release(api)
+            yield from api.retire()
+
+    machine.load_all(kernel)
+    stats = machine.run()
+    return machine.peek(counter), stats
+
+
+def test_amo_spin_lock_mutual_exclusion():
+    machine = make_machine(CORES, VariantSpec.amo(), seed=1)
+    lock = AmoSpinLock.create(machine, backoff=FixedBackoff(32))
+    final, _ = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+
+
+def test_lrsc_spin_lock_mutual_exclusion():
+    machine = make_machine(CORES, VariantSpec.lrsc(), seed=2)
+    lock = LrscSpinLock.create(machine, backoff=FixedBackoff(32))
+    final, _ = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+
+
+def test_colibri_spin_lock_mutual_exclusion():
+    machine = make_machine(CORES, VariantSpec.colibri(), seed=3)
+    lock = ColibriSpinLock.create(machine, backoff=FixedBackoff(32))
+    final, _ = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+
+
+def test_mwait_mcs_lock_mutual_exclusion():
+    machine = make_machine(CORES, VariantSpec.colibri(), seed=4)
+    lock = MwaitMcsLock.create(machine)
+    final, stats = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+    # Waiters sleep on Mwait instead of polling.
+    assert stats.total_sleep_cycles > 0
+
+
+def test_mcs_lock_on_centralized_lrscwait():
+    machine = make_machine(CORES, VariantSpec.lrscwait_ideal(), seed=5)
+    lock = MwaitMcsLock.create(machine)
+    final, _ = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+
+
+def test_mcs_lock_queue_full_fallback():
+    """On 1-slot hardware the Mwait monitor can bounce; the lock must
+    fall back to polling and stay correct.  All MCS nodes are placed in
+    one bank so concurrent waiters genuinely exhaust its single slot."""
+    machine = make_machine(CORES, VariantSpec.lrscwait(1), seed=6)
+    stride = machine.config.num_banks * machine.config.word_bytes
+    nodes = [machine.allocator.alloc_in_bank(0, 2)
+             for _ in range(machine.config.num_cores)]
+    tail = machine.allocator.alloc_in_bank(1, 1)
+    lock = MwaitMcsLock(tail, nodes, stride)
+    final, stats = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+    assert sum(c.wait_rejections for c in stats.cores) > 0
+
+
+def test_ticket_lock_mutual_exclusion_and_fifo():
+    machine = make_machine(CORES, VariantSpec.amo(), seed=7)
+    lock = TicketLock.create(machine)
+    final, _ = exercise(machine, lock)
+    assert final == CORES * ROUNDS
+
+
+def test_broken_lock_control_detects_races():
+    """A no-op lock must lose updates under this harness — otherwise
+    the mutual-exclusion tests above prove nothing."""
+
+    class NoOpLock:
+        def acquire(self, api):
+            yield from api.compute(0)
+
+        def release(self, api):
+            yield from api.compute(0)
+
+    machine = make_machine(CORES, VariantSpec.amo(), seed=8)
+    final, _ = exercise(machine, NoOpLock())
+    assert final < CORES * ROUNDS
+
+
+def test_mcs_lock_is_fifo_fair():
+    """MCS hands the lock over in arrival order; with staggered
+    arrivals the acquisition order must match."""
+    machine = make_machine(8, VariantSpec.colibri(), seed=9)
+    lock = MwaitMcsLock.create(machine)
+    order = []
+
+    def kernel(api):
+        yield from api.compute(1 + api.core_id * 40)  # staggered arrival
+        yield from lock.acquire(api)
+        order.append(api.core_id)
+        yield from api.compute(120)  # hold long enough to queue everyone
+        yield from lock.release(api)
+
+    machine.load_all(kernel)
+    machine.run()
+    assert order == sorted(order)
+
+
+def test_node_at_address_zero_rejected():
+    with pytest.raises(ValueError):
+        MwaitMcsLock(tail_addr=64, node_addrs=[0, 128], flag_stride=4)

@@ -1,0 +1,54 @@
+"""Tests for the Fig. 5 interference workload."""
+
+import pytest
+
+from repro.arch.config import SystemConfig
+from repro.memory.variants import VariantSpec
+from repro.workloads.interference import InterferenceResult, run_interference
+
+
+def test_baseline_equals_interfered_without_pollers():
+    result = InterferenceResult(
+        num_pollers=0, num_workers=4, num_bins=1, method="wait",
+        baseline_cycles=100, interfered_cycles=100)
+    assert result.relative_throughput == 1.0
+
+
+def test_relative_throughput_below_one_when_slowed():
+    result = InterferenceResult(
+        num_pollers=12, num_workers=4, num_bins=1, method="lrsc",
+        baseline_cycles=100, interfered_cycles=400)
+    assert result.relative_throughput == 0.25
+
+
+def test_more_workers_than_cores_rejected():
+    config = SystemConfig.scaled(8)
+    with pytest.raises(ValueError):
+        run_interference(config, VariantSpec.amo(), "amo",
+                         num_workers=9, num_bins=1)
+
+
+def test_colibri_pollers_barely_interfere():
+    config = SystemConfig.scaled(16)
+    result = run_interference(config, VariantSpec.colibri(), "wait",
+                              num_workers=4, num_bins=1, matmul_dim=8)
+    assert result.num_pollers == 12
+    assert result.relative_throughput > 0.9
+
+
+def test_lrsc_pollers_interfere_at_least_as_much_as_colibri():
+    config = SystemConfig.scaled(16)
+    colibri = run_interference(config, VariantSpec.colibri(), "wait",
+                               num_workers=4, num_bins=1, matmul_dim=8)
+    lrsc = run_interference(config, VariantSpec.lrsc(), "lrsc",
+                            num_workers=4, num_bins=1, matmul_dim=8)
+    assert lrsc.relative_throughput <= colibri.relative_throughput + 0.02
+
+
+def test_workers_are_remote_from_hot_tile():
+    """Workers take the top core ids so the bins' tile is not theirs."""
+    config = SystemConfig.scaled(16)
+    result = run_interference(config, VariantSpec.amo(), "amo",
+                              num_workers=2, num_bins=1, matmul_dim=6)
+    assert result.num_workers == 2
+    assert result.baseline_cycles > 0

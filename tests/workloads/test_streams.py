@@ -1,0 +1,45 @@
+"""Tests for workload index streams."""
+
+import random
+from collections import Counter
+
+from repro.workloads.streams import (
+    sequential_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+def test_uniform_stream_range_and_count():
+    rng = random.Random(1)
+    values = list(uniform_stream(rng, 8, 1000))
+    assert len(values) == 1000
+    assert set(values) <= set(range(8))
+    counts = Counter(values)
+    assert max(counts.values()) < 3 * min(counts.values())
+
+
+def test_zipf_stream_is_skewed():
+    rng = random.Random(2)
+    values = list(zipf_stream(rng, 16, 4000, exponent=1.2))
+    counts = Counter(values)
+    assert counts[0] > counts.get(15, 0) * 3
+    assert counts.most_common(1)[0][0] == 0
+
+
+def test_zipf_exponent_zero_is_uniform():
+    rng = random.Random(3)
+    values = list(zipf_stream(rng, 8, 4000, exponent=0.0))
+    counts = Counter(values)
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_sequential_stream_round_robin():
+    values = list(sequential_stream(3, 8, 10))
+    assert values == [3, 4, 5, 6, 7, 0, 1, 2, 3, 4]
+
+
+def test_streams_deterministic():
+    a = list(uniform_stream(random.Random(9), 8, 50))
+    b = list(uniform_stream(random.Random(9), 8, 50))
+    assert a == b
