@@ -10,6 +10,25 @@ Simulations are deterministic, so a single round measures them exactly;
 default to 32 cores — the paper's qualitative shape holds from 16 cores
 up (asserted by the test-suite), while full-scale runs are available
 through ``examples/reproduce_paper.py --full``.
+
+Engine regression baseline
+--------------------------
+``bench_engine.py`` is the *host-performance* canary: it times the raw
+event kernel (chained schedule/run) and one representative end-to-end
+simulation.  Its medians are recorded in ``BENCH_engine.json`` at the
+repo root — one labelled entry per significant kernel change, oldest
+first (the PR-1 entries capture the seed kernel and the event-kernel
+fast path, a ~2.5× kernel / ~1.4× end-to-end improvement).  When a PR
+touches the engine hot path, regenerate the numbers with::
+
+    pytest benchmarks/bench_engine.py --benchmark-json=out.json
+
+and append a new entry (label, per-bench ``min``/``median``/``mean``)
+to ``BENCH_engine.json`` instead of overwriting history, so the
+trajectory across PRs stays comparable.  CI keeps every bench file
+*executable* via ``pytest benchmarks -q --benchmark-disable``; timing
+comparisons stay a manual, same-machine exercise because CI runners
+are too noisy for them.
 """
 
 from __future__ import annotations

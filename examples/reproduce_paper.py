@@ -3,9 +3,11 @@
 
 Default scale is CI-friendly (32-64 cores); pass ``--full`` for the
 paper's 256-core MemPool instance (slow: tens of minutes of host time).
-Use ``--only fig3`` (etc.) to run a single experiment.
+Use ``--only fig3`` (etc.) to run a single experiment, ``--jobs N`` to
+shard sweep points across workers (identical results for any N), and
+``--cache-dir`` to only re-simulate configurations that changed.
 
-Run:  python examples/reproduce_paper.py [--full] [--only EXP]
+Run:  python examples/reproduce_paper.py [--full] [--only EXP] [--jobs N]
 """
 
 import argparse
@@ -13,6 +15,8 @@ import sys
 import time
 
 from repro.eval import (
+    ResultCache,
+    jobs_argument,
     run_fig3,
     run_fig4,
     run_fig5,
@@ -31,22 +35,31 @@ def main(argv=None):
                         choices=["table1", "table2", "fig3", "fig4",
                                  "fig5", "fig6"],
                         help="run a single experiment")
+    parser.add_argument("--jobs", type=jobs_argument, default=1,
+                        help="parallel sweep workers (0 = all CPUs)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="memoize finished points here")
     args = parser.parse_args(argv)
 
     cores = 256 if args.full else 64
     fig5_cores = 256 if args.full else 128
     updates = 8
+    jobs = args.jobs
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
     experiments = {
         "table1": lambda: run_table1().render() + "\n\n" + scaling_table(),
         "table2": lambda: run_table2(num_cores=cores,
-                                     updates_per_core=updates).render(),
-        "fig3": lambda: run_fig3(num_cores=cores,
-                                 updates_per_core=updates).render(),
-        "fig4": lambda: run_fig4(num_cores=cores,
-                                 updates_per_core=updates).render(),
-        "fig5": lambda: run_fig5(num_cores=fig5_cores).render(),
-        "fig6": lambda: run_fig6(max_cores=cores).render(),
+                                     updates_per_core=updates, jobs=jobs,
+                                     cache=cache).render(),
+        "fig3": lambda: run_fig3(num_cores=cores, updates_per_core=updates,
+                                 jobs=jobs, cache=cache).render(),
+        "fig4": lambda: run_fig4(num_cores=cores, updates_per_core=updates,
+                                 jobs=jobs, cache=cache).render(),
+        "fig5": lambda: run_fig5(num_cores=fig5_cores, jobs=jobs,
+                                 cache=cache).render(),
+        "fig6": lambda: run_fig6(max_cores=cores, jobs=jobs,
+                                 cache=cache).render(),
     }
     chosen = [args.only] if args.only else list(experiments)
 

@@ -24,6 +24,11 @@ class Topology:
         self._cores_per_tile = config.cores_per_tile
         self._banks_per_tile = config.banks_per_tile
         self._tiles_per_group = config.tiles_per_group
+        #: (core_tile, bank_tile) -> (class, latency, hops).  Distance
+        #: depends only on the tile pair, so this stays small (#tiles²)
+        #: and turns the per-message divisions and string compares of
+        #: the naive path into one dict hit.
+        self._route_cache: dict = {}
 
     # -- placement ---------------------------------------------------------
 
@@ -55,32 +60,49 @@ class Topology:
 
     # -- distances ----------------------------------------------------------
 
+    def route(self, core_id: int, bank_id: int) -> tuple:
+        """``(distance_class, one-way latency, hops)`` for a pair.
+
+        The single topology query of the message hot path: all three
+        values come from one memoized tile-pair lookup.  A network
+        model with different geometry overrides :meth:`_compute_route`.
+        """
+        key = (core_id // self._cores_per_tile,
+               bank_id // self._banks_per_tile)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = self._route_cache[key] = self._compute_route(*key)
+        return cached
+
+    def _compute_route(self, core_tile: int, bank_tile: int) -> tuple:
+        """Uncached ``(class, latency, hops)`` for a tile pair.
+
+        In a hierarchical crossbar like MemPool's, each cycle of
+        latency corresponds to one switch stage, so hops and latency
+        coincide; a model where they differ overrides this method and
+        every consumer (stats, energy) follows.
+        """
+        lat = self.config.latency
+        if core_tile == bank_tile:
+            return ("local", lat.local_tile, lat.local_tile)
+        if (core_tile // self._tiles_per_group
+                == bank_tile // self._tiles_per_group):
+            return ("group", lat.same_group, lat.same_group)
+        return ("global", lat.remote_group, lat.remote_group)
+
     def distance_class(self, core_id: int, bank_id: int) -> str:
         """``"local"``, ``"group"`` or ``"global"`` for a core-bank pair."""
-        core_tile = self.tile_of_core(core_id)
-        bank_tile = self.tile_of_bank(bank_id)
-        if core_tile == bank_tile:
-            return "local"
-        if self.group_of_tile(core_tile) == self.group_of_tile(bank_tile):
-            return "group"
-        return "global"
+        return self.route(core_id, bank_id)[0]
 
     def latency(self, core_id: int, bank_id: int) -> int:
         """One-way message latency between a core and a bank, in cycles."""
-        cls = self.distance_class(core_id, bank_id)
-        lat = self.config.latency
-        if cls == "local":
-            return lat.local_tile
-        if cls == "group":
-            return lat.same_group
-        return lat.remote_group
+        return self.route(core_id, bank_id)[1]
 
     def hop_count(self, core_id: int, bank_id: int) -> int:
         """Router hops for the energy model (== one-way latency here).
 
-        In a hierarchical crossbar like MemPool's, each cycle of latency
-        corresponds to one switch stage, so hops and latency coincide.
-        Kept as a separate method so a different network model can split
-        them.
+        Hops live in the same memoized route tuple as latency; a model
+        where they differ overrides :meth:`_compute_route` and every
+        consumer (message stats, Table II energy) follows.
         """
-        return self.latency(core_id, bank_id)
+        return self.route(core_id, bank_id)[2]

@@ -29,6 +29,7 @@ from .eval.fig4 import run_fig4
 from .eval.fig5 import run_fig5
 from .eval.fig6 import run_fig6
 from .eval.reporting import render_table
+from .eval.runner import ResultCache, jobs_argument
 from .eval.table1 import run_table1, scaling_table
 from .eval.table2 import run_table2
 from .machine import Machine
@@ -80,6 +81,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="deterministic workload seed")
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    """Sweep-sharding options (commands that run many independent sims)."""
+    parser.add_argument("--jobs", type=jobs_argument, default=1,
+                        help="parallel simulation workers for sweeps "
+                             "(0 = all CPUs; results are identical for "
+                             "any value)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="memoize finished points here; re-runs only "
+                             "simulate configurations that changed")
+
+
+def _runner_options(args):
+    """(jobs, cache) pair from parsed ``--jobs`` / ``--cache-dir``."""
+    if not args.cache_dir:
+        return args.jobs, None
+    try:
+        cache = ResultCache(args.cache_dir)
+    except OSError as exc:
+        raise SystemExit(
+            f"repro: cannot use --cache-dir {args.cache_dir!r}: {exc}")
+    return args.jobs, cache
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -123,11 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
     energy = sub.add_parser("energy", help="Table II energy model")
     _add_common(energy)
     energy.add_argument("--updates", type=int, default=8)
+    _add_jobs(energy)
 
     repro = sub.add_parser("reproduce",
                            help="every table and figure of the paper")
     repro.add_argument("--full", action="store_true",
                        help="paper scale (256 cores; slow)")
+    _add_jobs(repro)
     return parser
 
 
@@ -187,19 +213,22 @@ def cmd_area(_args) -> str:
 
 
 def cmd_energy(args) -> str:
-    return run_table2(num_cores=args.cores,
-                      updates_per_core=args.updates).render()
+    jobs, cache = _runner_options(args)
+    return run_table2(num_cores=args.cores, updates_per_core=args.updates,
+                      jobs=jobs, cache=cache).render()
 
 
 def cmd_reproduce(args) -> str:
     cores = 256 if args.full else 64
+    jobs, cache = _runner_options(args)
     parts = [
         run_table1().render(),
-        run_table2(num_cores=cores).render(),
-        run_fig3(num_cores=cores).render(),
-        run_fig4(num_cores=cores).render(),
-        run_fig5(num_cores=256 if args.full else 128).render(),
-        run_fig6(max_cores=cores).render(),
+        run_table2(num_cores=cores, jobs=jobs, cache=cache).render(),
+        run_fig3(num_cores=cores, jobs=jobs, cache=cache).render(),
+        run_fig4(num_cores=cores, jobs=jobs, cache=cache).render(),
+        run_fig5(num_cores=256 if args.full else 128, jobs=jobs,
+                 cache=cache).render(),
+        run_fig6(max_cores=cores, jobs=jobs, cache=cache).render(),
     ]
     return "\n\n".join(parts)
 

@@ -36,21 +36,21 @@ from typing import Optional
 from ..interconnect.messages import MemResponse, Op, Status
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute:
     """Execute ``cycles`` of computation (no memory traffic)."""
 
     cycles: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Retire:
     """Count ``count`` completed application-level operations."""
 
     count: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MemCmd:
     """One memory instruction to issue."""
 

@@ -50,7 +50,7 @@ class Core:
         qnode_delay = address_map.config.latency.qnode_cycles - 1
         if qnode_delay > 0:
             def send_wakeup(msg, _delay=qnode_delay):
-                sim.schedule(_delay, lambda: network.send_wakeup(msg))
+                sim.schedule(_delay, network.send_wakeup, arg=msg)
         else:
             send_wakeup = network.send_wakeup
         self.qnode = Qnode(core_id, send_wakeup, self._send_stalled_wait)
@@ -75,7 +75,11 @@ class Core:
         """Schedule the first instruction at the current cycle."""
         if self._kernel is None:
             return
-        self.sim.schedule(0, lambda: self._advance(None))
+        self.sim.schedule(0, self._resume)
+
+    def _resume(self) -> None:
+        """Bound re-entry callback: scheduling it allocates no closure."""
+        self._advance(None)
 
     @property
     def finished(self) -> bool:
@@ -114,7 +118,7 @@ class Core:
                     continue
                 self.stats.active_cycles += cmd.cycles
                 self.stats.instructions += cmd.cycles
-                self.sim.schedule(cmd.cycles, lambda: self._advance(None))
+                self.sim.schedule(cmd.cycles, self._resume)
                 return
             if isinstance(cmd, Retire):
                 self.stats.ops_completed += cmd.count
@@ -134,8 +138,10 @@ class Core:
         """State transition with optional tracing (for VCD export)."""
         if self.state != state:
             self.state = state
-            self.sim.tracer.log(self.sim.now, f"core{self.core_id}",
-                                "core_state", state)
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.log(self.sim.now, f"core{self.core_id}",
+                           "core_state", state)
 
     # -- memory issue ----------------------------------------------------------------
 
@@ -150,7 +156,7 @@ class Core:
         self._outstanding = req
         self._set_state(SLEEPING if cmd.op in WAIT_OPS else STALLED)
         # The request leaves the core after the 1-cycle issue stage.
-        self.sim.schedule(1, lambda: self._send(req))
+        self.sim.schedule(1, self._send, arg=req)
 
     def _send(self, req: MemRequest) -> None:
         self._wait_started = self.sim.now

@@ -15,13 +15,30 @@ number is a monotonically increasing insertion counter, so two events
 scheduled for the same cycle with the same priority fire in the order
 they were scheduled.  Combined with seeded RNGs this makes every
 simulation bit-reproducible, which the test suite relies on.
+
+Performance
+-----------
+The heap stores plain ``[cycle, priority, seq, fn, arg]`` lists, not
+event objects: list comparison runs element-wise at C speed during
+every ``heappush``/``heappop`` sift (``seq`` is unique, so ``fn`` is
+never compared), and scheduling allocates nothing but the entry itself.
+``arg`` is :data:`NO_ARG` for plain thunks; otherwise the run loop
+calls ``fn(arg)``, which lets message delivery schedule a bound handler
+plus payload instead of allocating a closure per message.  Cancellation
+clears the entry's ``fn`` slot in place; the queue drops dead entries
+lazily on pop, keeping cancellation O(1).
+
+:class:`Event` handles exist only where a caller may want to cancel:
+:meth:`EventQueue.push` appends the handle as a fifth entry slot so the
+pop side can hand the same object back.  The simulator's hot
+``schedule`` path (see :mod:`repro.engine.simulator`) bypasses handle
+creation entirely.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
@@ -34,36 +51,102 @@ PRIORITY_EARLY = -1
 #: cycle (e.g. end-of-cycle invariant checks in debug mode).
 PRIORITY_LATE = 1
 
+#: Sentinel marking a no-argument callback (``arg`` slot), so ``None``
+#: stays usable as a real argument value.
+NO_ARG = object()
 
-@dataclass(order=True)
+#: Heap-entry slot indices (entries are ``[cycle, priority, seq, fn,
+#: arg]`` lists, plus an optional trailing :class:`Event` handle).
+(SLOT_CYCLE, SLOT_PRIORITY, SLOT_SEQ, SLOT_FN, SLOT_ARG,
+ SLOT_HANDLE) = range(6)
+
+
 class Event:
-    """A single scheduled callback.
+    """A cancellable handle onto one scheduled callback.
 
-    Instances are ordered by ``(cycle, priority, seq)`` so they can live
-    directly in a binary heap.  ``fn`` is excluded from comparisons.
+    The handle is a view over the queue's heap entry: ``cancel()``
+    clears the entry's callback slot in place, which the run loop and
+    ``pop()`` treat as a dead entry.  Handles order by
+    ``(cycle, priority, seq)``.
     """
 
-    cycle: int
-    priority: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("_entry",)
+
+    def __init__(self, cycle: int, priority: int, seq: int,
+                 fn: Optional[Callable[[], None]],
+                 cancelled: bool = False) -> None:
+        self._entry = [cycle, priority, seq, None if cancelled else fn,
+                       NO_ARG, self]
+
+    @classmethod
+    def _adopt(cls, entry: list) -> "Event":
+        """Wrap an existing handle-less heap entry (lazy materialize)."""
+        event = object.__new__(cls)
+        entry.append(event)
+        event._entry = entry
+        return event
+
+    @property
+    def cycle(self) -> int:
+        return self._entry[SLOT_CYCLE]
+
+    @property
+    def priority(self) -> int:
+        return self._entry[SLOT_PRIORITY]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[SLOT_SEQ]
+
+    @property
+    def fn(self) -> Optional[Callable[[], None]]:
+        """The scheduled callback; ``None`` once cancelled."""
+        return self._entry[SLOT_FN]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[SLOT_FN] is None
 
     def cancel(self) -> None:
         """Mark the event dead; the queue drops it lazily when popped."""
-        self.cancelled = True
+        self._entry[SLOT_FN] = None
+
+    def _key(self) -> tuple:
+        entry = self._entry
+        return (entry[SLOT_CYCLE], entry[SLOT_PRIORITY], entry[SLOT_SEQ])
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        flag = " cancelled" if self.cancelled else ""
+        return (f"Event(cycle={self.cycle}, priority={self.priority}, "
+                f"seq={self.seq}{flag})")
 
 
 class EventQueue:
     """A deterministic binary-heap event queue.
 
-    The queue only deals in *absolute* cycles; relative scheduling is the
-    simulator's job.  Cancelled events are dropped lazily on pop, which
-    keeps cancellation O(1).
+    The queue only deals in *absolute* cycles; relative scheduling is
+    the simulator's job.  ``_heap`` holds the raw entry lists described
+    in the module docstring; :class:`~repro.engine.simulator.Simulator`
+    drains it directly with :mod:`heapq` to skip a method call per
+    event.
     """
 
+    __slots__ = ("_heap", "_counter")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -78,24 +161,34 @@ class EventQueue:
         if cycle < 0:
             raise ValueError(f"cannot schedule event at negative cycle {cycle}")
         event = Event(cycle, priority, next(self._counter), fn)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, event._entry)
         return event
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest live event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Handle-less entries (scheduled through the simulator's raw fast
+        path) get a handle materialized on the way out, so callers see
+        a uniform API.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[SLOT_FN] is None:
+                continue
+            if len(entry) > SLOT_HANDLE:
+                return entry[SLOT_HANDLE]
+            return Event._adopt(entry)
         return None
 
     def peek_cycle(self) -> Optional[int]:
         """Cycle of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][SLOT_FN] is None:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].cycle
+        return heap[0][SLOT_CYCLE]
 
     def clear(self) -> None:
         """Drop every pending event."""

@@ -21,6 +21,14 @@ from .harness import (
     sweep_bins,
 )
 from .reporting import render_series, render_table
+from .runner import (
+    ExperimentCall,
+    ResultCache,
+    jobs_argument,
+    resolve_jobs,
+    run_experiments,
+    run_grid,
+)
 from .table1 import Table1Result, run_table1, scaling_table
 from .table2 import Table2Result, run_table2
 
@@ -49,6 +57,12 @@ __all__ = [
     "sweep_bins",
     "render_series",
     "render_table",
+    "ExperimentCall",
+    "ResultCache",
+    "jobs_argument",
+    "resolve_jobs",
+    "run_experiments",
+    "run_grid",
     "Table1Result",
     "run_table1",
     "scaling_table",

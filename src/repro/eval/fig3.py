@@ -68,12 +68,17 @@ class Fig3Result:
 
 
 def run_fig3(num_cores: int = 64, bins_list=None, updates_per_core: int = 8,
-             seed: int = 0) -> Fig3Result:
-    """Regenerate Fig. 3 at the given scale."""
+             seed: int = 0, jobs: int = 1, cache=None) -> Fig3Result:
+    """Regenerate Fig. 3 at the given scale.
+
+    ``jobs``/``cache`` shard and memoize the sweep's independent points
+    (see :mod:`repro.eval.runner`); results are identical for any
+    ``jobs`` value.
+    """
     if bins_list is None:
         max_banks = (num_cores // 4) * 16
         bins_list = [b for b in FULL_BINS if b <= max_banks]
     points = sweep_bins(FIG3_SERIES, num_cores, bins_list,
-                        updates_per_core, seed=seed)
+                        updates_per_core, seed=seed, jobs=jobs, cache=cache)
     return Fig3Result(num_cores=num_cores, bins=list(bins_list),
                       points=points)

@@ -65,12 +65,15 @@ def _ratio_label(method: str, num_cores: int, num_workers: int) -> str:
 
 
 def run_fig5(num_cores: int = 64, bins_list=None, matmul_dim: int = 12,
-             seed: int = 0) -> Fig5Result:
+             seed: int = 0, jobs: int = 1, cache=None) -> Fig5Result:
     """Regenerate Fig. 5 at the given scale.
 
     Runs Colibri at the most adversarial ratio plus LRSC at every
-    paper ratio, exactly like the published figure.
+    paper ratio, exactly like the published figure.  ``jobs``/``cache``
+    shard and memoize the independent (ratio, bins) points (see
+    :mod:`repro.eval.runner`).
     """
+    from .runner import ExperimentCall, run_grid
     if bins_list is None:
         bins_list = FULL_BINS
     worker_counts = sorted(
@@ -78,22 +81,22 @@ def run_fig5(num_cores: int = 64, bins_list=None, matmul_dim: int = 12,
          for fraction in PAPER_WORKER_FRACTIONS},
         reverse=True)
     config = SystemConfig.scaled(num_cores)
-    series: dict = {}
-    # Colibri at the fewest-workers (most pollers) ratio.
+    # Colibri at the fewest-workers (most pollers) ratio, then LRSC at
+    # every paper ratio — one sweep row per (method, workers) combo.
     fewest = worker_counts[-1]
-    label = _ratio_label("Colibri", num_cores, fewest)
-    series[label] = [
-        run_interference(config, VariantSpec.colibri(), "wait",
-                         fewest, bins, matmul_dim, seed).relative_throughput
-        for bins in bins_list
-    ]
-    for workers in worker_counts:
-        label = _ratio_label("LRSC", num_cores, workers)
-        series[label] = [
-            run_interference(config, VariantSpec.lrsc(), "lrsc",
-                             workers, bins, matmul_dim,
-                             seed).relative_throughput
-            for bins in bins_list
-        ]
+    combos = [("Colibri", VariantSpec.colibri(), "wait", fewest)]
+    combos.extend(("LRSC", VariantSpec.lrsc(), "lrsc", workers)
+                  for workers in worker_counts)
+    rows = [(_ratio_label(name, num_cores, workers),
+             (variant, method, workers))
+            for name, variant, method, workers in combos]
+    points = run_grid(
+        rows, bins_list,
+        lambda spec, bins: ExperimentCall(
+            run_interference,
+            (config, spec[0], spec[1], spec[2], bins, matmul_dim, seed)),
+        jobs=jobs, cache=cache)
+    series = {label: [point.relative_throughput for point in row]
+              for label, row in points.items()}
     return Fig5Result(num_cores=num_cores, bins=list(bins_list),
                       series=series)

@@ -127,18 +127,23 @@ def run_queue_point(label: str, system_cores: int, active_cores: int,
 
 
 def run_fig6(max_cores: int = 64, core_counts=None, ops_per_core: int = 16,
-             seed: int = 0) -> Fig6Result:
+             seed: int = 0, jobs: int = 1, cache=None) -> Fig6Result:
     """Regenerate Fig. 6 at the given scale.
 
     The *system* stays at ``max_cores`` (bank count fixed) while the
     number of cores using the queue sweeps, as in the paper.
+    ``jobs``/``cache`` shard and memoize the independent (method,
+    #cores) points (see :mod:`repro.eval.runner`).
     """
+    from .runner import ExperimentCall, run_grid
     if core_counts is None:
         core_counts = [c for c in (1, 2, 4, 8, 16, 32, 64, 128, 256)
                        if c <= max_cores]
-    points: dict = {label: [] for label in SERIES_METHODS}
-    for label in SERIES_METHODS:
-        for active in core_counts:
-            points[label].append(run_queue_point(
-                label, max_cores, active, ops_per_core, seed=seed))
+    points = run_grid(
+        [(label, label) for label in SERIES_METHODS],
+        core_counts,
+        lambda label, active: ExperimentCall(
+            run_queue_point, (label, max_cores, active, ops_per_core),
+            {"seed": seed}),
+        jobs=jobs, cache=cache)
     return Fig6Result(core_counts=list(core_counts), points=points)

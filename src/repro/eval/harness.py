@@ -150,13 +150,21 @@ def run_histogram_point(series: SeriesSpec, num_cores: int, num_bins: int,
 
 
 def sweep_bins(series_list, num_cores: int, bins_list, updates_per_core: int,
-               seed: int = 0) -> dict:
-    """Run a bin sweep for every series; returns label -> [points]."""
-    results: dict = {}
-    for series in series_list:
-        points = []
-        for num_bins in bins_list:
-            points.append(run_histogram_point(
-                series, num_cores, num_bins, updates_per_core, seed=seed))
-        results[series.label] = points
-    return results
+               seed: int = 0, jobs: int = 1, cache=None) -> dict:
+    """Run a bin sweep for every series; returns label -> [points].
+
+    Points are independent simulations, so ``jobs > 1`` shards them
+    across a worker pool (deterministic: any ``jobs`` value returns
+    identical results) and ``cache`` (a
+    :class:`~repro.eval.runner.ResultCache`) skips already-simulated
+    configurations.
+    """
+    from .runner import ExperimentCall, run_grid
+    return run_grid(
+        [(series.label, series) for series in series_list],
+        bins_list,
+        lambda series, num_bins: ExperimentCall(
+            run_histogram_point,
+            (series, num_cores, num_bins, updates_per_core),
+            {"seed": seed}),
+        jobs=jobs, cache=cache)

@@ -1,0 +1,288 @@
+"""Parallel experiment execution with deterministic ordering and caching.
+
+Every figure and table of the paper is a sweep over *independent*
+simulator configurations (series × contention level × scale), and every
+simulation is a pure, deterministic function of its arguments.  That
+makes sweeps embarrassingly parallel — and their points perfectly
+cacheable.  This module provides both:
+
+* :func:`run_experiments` shards a list of :class:`ExperimentCall`\\ s
+  across a ``multiprocessing`` pool.  Results always come back in call
+  order, so a sweep produces byte-identical output whether it ran with
+  ``jobs=1`` in-process or ``jobs=N`` across workers — the test suite
+  asserts exactly this.
+* :class:`ResultCache` memoizes finished points on disk, keyed by a
+  SHA-256 hash over the called function and a canonical rendering of
+  its arguments.  Re-running a figure after editing one variant only
+  re-simulates the points whose configuration actually changed; the
+  rest come back as cache hits.
+
+The experiment functions themselves (``run_histogram_point``,
+``run_interference``, ``run_queue_point``) stay plain callables — they
+know nothing about pooling or caching, so they remain directly usable
+and testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+#: Bump when the cached result format changes incompatibly (e.g. a
+#: measured dataclass gains fields); invalidates every existing entry.
+CACHE_VERSION = 1
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class ExperimentCall:
+    """One experiment point: a pure function plus its configuration.
+
+    ``fn`` must be an importable module-level callable (the worker
+    processes re-import it by qualified name via pickle) and its
+    arguments must be picklable, which every experiment config in
+    :mod:`repro.eval` is.
+    """
+
+    fn: Callable
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def invoke(self):
+        """Run the point in the current process."""
+        return self.fn(*self.args, **self.kwargs)
+
+    def config_key(self) -> str:
+        """SHA-256 hash of the function identity and canonical arguments.
+
+        Two calls share a key iff they name the same function with the
+        same configuration, so a cache keyed by this hash is invalidated
+        exactly by config changes (and by :data:`CACHE_VERSION` bumps).
+        """
+        parts = [f"v{CACHE_VERSION}",
+                 f"{self.fn.__module__}.{self.fn.__qualname__}"]
+        parts.extend(_canonical(a) for a in self.args)
+        parts.extend(f"{k}={_canonical(v)}"
+                     for k, v in sorted(self.kwargs.items()))
+        blob = "\x1f".join(parts)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonical(value) -> str:
+    """Deterministic text rendering of a configuration value.
+
+    Dataclass reprs are field-ordered and nested dataclasses recurse,
+    so config objects (``SeriesSpec``, ``VariantSpec``,
+    ``SystemConfig``...) canonicalize for free; containers recurse
+    explicitly so a dict's iteration order cannot leak into the key.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return repr(value)
+    if isinstance(value, dict):
+        inner = ",".join(f"{_canonical(k)}:{_canonical(v)}"
+                         for k, v in sorted(value.items(), key=repr))
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical(item) for item in value)
+        return ("[" if isinstance(value, list) else "(") + inner + \
+            ("]" if isinstance(value, list) else ")")
+    return repr(value)
+
+
+def source_fingerprint() -> str:
+    """Hash of every ``repro`` source file (content, not mtime).
+
+    Folded into cache keys so editing *simulator code* — not just a
+    point's configuration — invalidates cached results.  Serving
+    pre-edit numbers as current would be silently-wrong science in a
+    reproduction repo; a few milliseconds of hashing per cache
+    construction buys safety by default.
+    """
+    import repro
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode("utf-8"))
+            with open(os.path.join(dirpath, name), "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Disk-backed memo of finished experiment points.
+
+    One pickle file per key, fronted by an in-process dict.  The key
+    combines :meth:`ExperimentCall.config_key` with a fingerprint of
+    the ``repro`` sources (see :func:`source_fingerprint`), so both
+    config edits and code edits invalidate exactly what they touch.
+    ``hits``/``misses``/``stores``/``write_errors`` are exposed for
+    tests and for ``--jobs`` progress reporting.
+    """
+
+    def __init__(self, path: str, fingerprint: Optional[str] = None) -> None:
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self.fingerprint = (source_fingerprint() if fingerprint is None
+                            else fingerprint)
+        self._memory: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.write_errors = 0
+
+    def _key(self, call: ExperimentCall) -> str:
+        blob = f"{self.fingerprint}\x1f{call.config_key()}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self.path, key + ".pkl")
+
+    def lookup(self, call: ExperimentCall):
+        """Cached result for ``call``, or the module-private miss sentinel."""
+        key = self._key(call)
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        try:
+            with open(self._file(key), "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError):
+            self.misses += 1
+            return _MISS
+        self._memory[key] = result
+        self.hits += 1
+        return result
+
+    def store(self, call: ExperimentCall, result) -> None:
+        """Persist one finished point.
+
+        A failing disk write (full volume, revoked permissions...)
+        degrades to cache-less operation instead of discarding the
+        already-computed simulation results with an exception.
+        """
+        key = self._key(call)
+        self._memory[key] = result
+        tmp = self._file(key) + ".tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, self._file(key))
+        except OSError:
+            self.write_errors += 1
+            return
+        self.stores += 1
+
+    def clear(self) -> None:
+        """Drop every cached point (memory and disk)."""
+        self._memory.clear()
+        for name in os.listdir(self.path):
+            if name.endswith(".pkl"):
+                os.unlink(os.path.join(self.path, name))
+
+
+def _invoke(payload: tuple):
+    """Pool worker: unpack and run one call (module-level for pickling)."""
+    fn, args, kwargs = payload
+    return fn(*args, **kwargs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if not jobs:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def jobs_argument(text: str) -> int:
+    """argparse ``type=`` validator for ``--jobs`` flags.
+
+    The single definition of the flag's contract (non-negative int,
+    0 = all CPUs), shared by the ``repro`` CLI and the examples so the
+    entry points cannot drift.
+    """
+    import argparse
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all CPUs), got {jobs}")
+    return jobs
+
+
+def run_experiments(calls: Sequence[ExperimentCall], jobs: int = 1,
+                    cache: Optional[ResultCache] = None) -> list:
+    """Run every call and return their results *in call order*.
+
+    ``jobs=1`` runs serially in-process (no pool, no pickling);
+    ``jobs>1`` shards the non-cached calls across a worker pool.
+    Because each call is a pure deterministic function and results are
+    reassembled by call index, the returned list is identical for any
+    ``jobs`` value.  ``jobs=None``/``0`` uses every CPU.
+    """
+    jobs = resolve_jobs(jobs)
+    results: list = [None] * len(calls)
+    pending: list = []          # (index, call) still to simulate
+    if cache is not None:
+        for index, call in enumerate(calls):
+            hit = cache.lookup(call)
+            if hit is _MISS:
+                pending.append((index, call))
+            else:
+                results[index] = hit
+    else:
+        pending = list(enumerate(calls))
+
+    if not pending:
+        return results
+    if jobs == 1 or len(pending) == 1:
+        computed = [call.invoke() for _index, call in pending]
+    else:
+        payloads = [(call.fn, call.args, call.kwargs)
+                    for _index, call in pending]
+        workers = min(jobs, len(payloads))
+        with multiprocessing.Pool(processes=workers) as pool:
+            computed = pool.map(_invoke, payloads, chunksize=1)
+    for (index, call), result in zip(pending, computed):
+        results[index] = result
+        if cache is not None:
+            cache.store(call, result)
+    return results
+
+
+def run_grid(rows: Sequence[tuple], columns: Sequence,
+             make_call: Callable, jobs: int = 1,
+             cache: Optional[ResultCache] = None) -> dict:
+    """Run a labelled sweep grid; returns ``{label: [result/column]}``.
+
+    ``rows`` is ``[(label, row_spec), ...]`` and ``make_call(row_spec,
+    column)`` builds the :class:`ExperimentCall` for one point.  All
+    figure sweeps are such grids (series × contention, ratio × bins,
+    method × cores); pairing results to labels here — instead of
+    hand-slicing a flat result list at every call site — keeps the
+    bookkeeping structural rather than positional.
+    """
+    rows = list(rows)
+    columns = list(columns)
+    calls = [make_call(spec, column)
+             for _label, spec in rows for column in columns]
+    results = run_experiments(calls, jobs=jobs, cache=cache)
+    grid: dict = {}
+    for index, (label, _spec) in enumerate(rows):
+        start = index * len(columns)
+        grid[label] = results[start:start + len(columns)]
+    return grid

@@ -61,12 +61,22 @@ class Table2Result:
 
 
 def run_table2(num_cores: int = 64, updates_per_core: int = 8,
-               seed: int = 0) -> Table2Result:
-    """Regenerate Table II at the given scale (histogram, 1 bin)."""
+               seed: int = 0, jobs: int = 1, cache=None) -> Table2Result:
+    """Regenerate Table II at the given scale (histogram, 1 bin).
+
+    ``jobs``/``cache`` shard and memoize the independent rows (see
+    :mod:`repro.eval.runner`).
+    """
+    from .runner import ExperimentCall, run_experiments
+    calls = [
+        ExperimentCall(run_histogram_point,
+                       (series, num_cores, 1, updates_per_core),
+                       {"seed": seed})
+        for series in TABLE2_SERIES
+    ]
+    points = run_experiments(calls, jobs=jobs, cache=cache)
     raw = []
-    for series in TABLE2_SERIES:
-        point = run_histogram_point(series, num_cores, 1,
-                                    updates_per_core, seed=seed)
+    for series, point in zip(TABLE2_SERIES, points):
         raw.append((series.label, point.energy.power_mw(),
                     point.pj_per_op))
     colibri_pj = next(pj for label, _p, pj in raw if label == "Colibri")

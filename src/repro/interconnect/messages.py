@@ -73,7 +73,7 @@ class Status(Enum):
 _req_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """A core-issued memory operation travelling to a bank."""
 
@@ -95,7 +95,7 @@ class MemRequest:
                 f"addr=0x{self.addr:x} val={self.value}")
 
 
-@dataclass
+@dataclass(slots=True)
 class MemResponse:
     """A bank's answer to a :class:`MemRequest`."""
 
@@ -113,7 +113,7 @@ class MemResponse:
     successor_pending: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SuccessorUpdate:
     """Colibri: link ``successor`` behind ``prev_core``'s Qnode."""
 
@@ -125,7 +125,7 @@ class SuccessorUpdate:
     successor: int
 
 
-@dataclass
+@dataclass(slots=True)
 class WakeUpRequest:
     """Colibri: tell the controller to serve ``successor`` next."""
 

@@ -103,47 +103,46 @@ class Network:
 
     # -- sends -------------------------------------------------------------------
 
-    def _request_delivery_cycle(self, core_id: int, bank_id: int) -> int:
-        """Arrival cycle of a request, including tile-ingress queueing.
+    def _ingress_slot(self, bank_id: int, arrival: int) -> int:
+        """Pass the target tile's shared ingress port (remote requests).
 
-        Remote requests (from outside the bank's tile) pass the target
-        tile's shared ingress port; a saturated port delays them — and
-        every other remote request to that tile — in FIFO order.  This
-        models the interconnect stage where atomics' retry storms
-        interfere with unrelated traffic (Fig. 5).
+        Requests from outside the bank's tile queue at the tile's
+        shared ingress; a saturated port delays them — and every other
+        remote request to that tile — in FIFO order.  This models the
+        interconnect stage where atomics' retry storms interfere with
+        unrelated traffic (Fig. 5).  Local requests never call this.
         """
-        latency = self.topology.latency(core_id, bank_id)
-        arrival = self.sim.now + latency
-        if self.topology.distance_class(core_id, bank_id) == "local":
-            return arrival
         tile = self.topology.tile_of_bank(bank_id)
         slot = self._tile_ingress[tile].next_slot(arrival)
         self.stats.ingress_wait_cycles += slot - arrival
         return slot
 
     def send_request(self, req: MemRequest, bank_id: int) -> None:
-        """Core → bank: deliver a memory request after the route latency."""
-        hops = self.topology.hop_count(req.core_id, bank_id)
+        """Core → bank: deliver a memory request after the route latency.
+
+        One memoized route lookup serves hop accounting and delivery
+        alike (see :meth:`~repro.arch.topology.Topology.route`).
+        """
+        cls, latency, hops = self.topology.route(req.core_id, bank_id)
         self.stats.count_message(req.op.value, hops)
-        delivery = self._request_delivery_cycle(req.core_id, bank_id)
-        handler = self._bank_handlers[bank_id]
-        self.sim.schedule_at(delivery, lambda: handler(req))
+        delivery = self.sim.now + latency
+        if cls != "local":
+            delivery = self._ingress_slot(bank_id, delivery)
+        self.sim.schedule_at(delivery, self._bank_handlers[bank_id], arg=req)
 
     def send_response(self, resp: MemResponse, bank_id: int) -> None:
         """Bank → core: deliver a response after the route latency."""
-        latency = self.topology.latency(resp.core_id, bank_id)
-        hops = self.topology.hop_count(resp.core_id, bank_id)
+        _cls, latency, hops = self.topology.route(resp.core_id, bank_id)
         self.stats.count_message("resp_" + resp.op.value, hops)
-        handler = self._core_handlers[resp.core_id]
-        self.sim.schedule(latency, lambda: handler(resp))
+        self.sim.schedule(latency, self._core_handlers[resp.core_id],
+                          arg=resp)
 
     def send_successor_update(self, msg: SuccessorUpdate) -> None:
         """Bank → Qnode: Colibri enqueue-link message."""
-        latency = self.topology.latency(msg.prev_core, msg.bank_id)
-        hops = self.topology.hop_count(msg.prev_core, msg.bank_id)
+        _cls, latency, hops = self.topology.route(msg.prev_core, msg.bank_id)
         self.stats.count_message("successor_update", hops)
-        handler = self._qnode_handlers[msg.prev_core]
-        self.sim.schedule(latency, lambda: handler(msg))
+        self.sim.schedule(latency, self._qnode_handlers[msg.prev_core],
+                          arg=msg)
 
     def send_wakeup(self, msg: WakeUpRequest) -> None:
         """Qnode → bank: Colibri dequeue/wake message.
@@ -152,8 +151,10 @@ class Network:
         ingress with ordinary requests (and stay FIFO behind the same
         core's SCwait, which was sent earlier at equal latency).
         """
-        hops = self.topology.hop_count(msg.from_core, msg.bank_id)
+        cls, latency, hops = self.topology.route(msg.from_core, msg.bank_id)
         self.stats.count_message("wakeup_request", hops)
-        delivery = self._request_delivery_cycle(msg.from_core, msg.bank_id)
-        handler = self._bank_handlers[msg.bank_id]
-        self.sim.schedule_at(delivery, lambda: handler(msg))
+        delivery = self.sim.now + latency
+        if cls != "local":
+            delivery = self._ingress_slot(msg.bank_id, delivery)
+        self.sim.schedule_at(delivery, self._bank_handlers[msg.bank_id],
+                             arg=msg)

@@ -88,7 +88,7 @@ class BankController:
         if start == now:
             self._service(msg)
         else:
-            self.sim.schedule_at(start, lambda: self._service(msg))
+            self.sim.schedule_at(start, self._service, arg=msg)
 
     def _service(self, msg) -> None:
         self.stats.accesses += 1
@@ -110,8 +110,9 @@ class BankController:
 
     def trace(self, kind: str, detail: str = "") -> None:
         """Adapter-visible tracing hook (protocol transitions)."""
-        self.sim.tracer.log(self.sim.now, f"bank{self.bank_id}", kind,
-                            detail)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.log(self.sim.now, f"bank{self.bank_id}", kind, detail)
 
     # -- adapter service interface -------------------------------------------------
 

@@ -1,0 +1,228 @@
+"""Tests for the parallel experiment runner and its result cache.
+
+The contract under test: sharding a sweep across workers changes *how*
+points are computed, never *what* comes back — results are ordered,
+deterministic, and byte-identical to a serial run — and the cache is
+keyed by configuration, so edits invalidate exactly the points they
+touch.
+"""
+
+import pickle
+
+import pytest
+
+from repro.eval.fig3 import run_fig3
+from repro.eval.harness import SeriesSpec, run_histogram_point, sweep_bins
+from repro.eval.runner import (
+    ExperimentCall,
+    ResultCache,
+    resolve_jobs,
+    run_experiments,
+)
+
+#: A tiny but real experiment configuration (fast enough for CI).
+SPEC = SeriesSpec("Atomic Add", "amo", "amo")
+
+
+def _call(num_bins=2, updates=3, seed=0):
+    return ExperimentCall(run_histogram_point, (SPEC, 8, num_bins, updates),
+                          {"seed": seed})
+
+
+# -- ordering and determinism -------------------------------------------------
+
+def test_results_come_back_in_call_order():
+    calls = [_call(num_bins=b) for b in (4, 1, 2)]
+    results = run_experiments(calls, jobs=1)
+    assert [p.num_bins for p in results] == [4, 1, 2]
+
+
+def test_parallel_results_identical_to_serial():
+    calls = [_call(num_bins=b) for b in (1, 2, 4)]
+    serial = run_experiments(calls, jobs=1)
+    parallel = run_experiments(calls, jobs=3)
+    # Dataclass value equality, plus per-point pickle identity (the
+    # whole-list pickles differ only in memo structure when results
+    # cross a process boundary, never in content).
+    assert serial == parallel
+    for ours, theirs in zip(serial, parallel):
+        assert pickle.dumps(ours) == pickle.dumps(theirs)
+
+
+def test_sweep_bins_identical_for_any_jobs():
+    kwargs = dict(num_cores=8, bins_list=[1, 4], updates_per_core=3)
+    serial = sweep_bins([SPEC], jobs=1, **kwargs)
+    parallel = sweep_bins([SPEC], jobs=4, **kwargs)
+    assert serial == parallel
+
+
+def test_figure_runner_identical_for_any_jobs():
+    kwargs = dict(num_cores=16, bins_list=[1, 8], updates_per_core=4)
+    serial = run_fig3(jobs=1, **kwargs)
+    parallel = run_fig3(jobs=2, **kwargs)
+    assert serial.render() == parallel.render()
+    assert serial.throughput_series() == parallel.throughput_series()
+
+
+def test_resolve_jobs_semantics():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+# -- caching ------------------------------------------------------------------
+
+def test_cache_hit_skips_recomputation(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path))
+    calls = [_call(num_bins=1), _call(num_bins=2)]
+    first = run_experiments(calls, jobs=1, cache=cache)
+    assert (cache.misses, cache.stores) == (2, 2)
+
+    # Re-running must not simulate at all: poison the experiment fn.
+    def boom(*_args, **_kwargs):
+        raise AssertionError("cache miss: point was re-simulated")
+
+    monkeypatch.setattr(ExperimentCall, "invoke", boom)
+    second = run_experiments(calls, jobs=1, cache=cache)
+    assert cache.hits == 2
+    assert pickle.dumps(first) == pickle.dumps(second)
+
+
+def test_cache_survives_process_boundary(tmp_path):
+    """A fresh ResultCache over the same directory reuses disk entries."""
+    first = run_experiments([_call()], jobs=1, cache=ResultCache(str(tmp_path)))
+    reopened = ResultCache(str(tmp_path))
+    second = run_experiments([_call()], jobs=1, cache=reopened)
+    assert reopened.hits == 1 and reopened.misses == 0
+    assert pickle.dumps(first) == pickle.dumps(second)
+
+
+def test_config_change_invalidates_only_changed_points(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_experiments([_call(num_bins=1), _call(num_bins=2)], jobs=1,
+                    cache=cache)
+    # One point's config changes (different seed); the other must hit.
+    cache2 = ResultCache(str(tmp_path))
+    run_experiments([_call(num_bins=1), _call(num_bins=2, seed=9)], jobs=1,
+                    cache=cache2)
+    assert cache2.hits == 1
+    assert cache2.misses == 1
+
+
+def test_config_key_is_stable_and_discriminating():
+    assert _call().config_key() == _call().config_key()
+    assert _call().config_key() != _call(num_bins=4).config_key()
+    assert _call().config_key() != _call(seed=1).config_key()
+    other_series = ExperimentCall(
+        run_histogram_point,
+        (SeriesSpec("LRSC", "lrsc", "lrsc"), 8, 2, 3), {"seed": 0})
+    assert _call().config_key() != other_series.config_key()
+
+
+def test_source_edit_invalidates_cache(tmp_path):
+    """Cached numbers must not survive simulator-code changes."""
+    cache = ResultCache(str(tmp_path))
+    run_experiments([_call()], jobs=1, cache=cache)
+    # Same directory, different source fingerprint (as after an edit).
+    edited = ResultCache(str(tmp_path), fingerprint="deadbeef")
+    run_experiments([_call()], jobs=1, cache=edited)
+    assert (edited.hits, edited.misses) == (0, 1)
+    # Unchanged sources still hit.
+    same = ResultCache(str(tmp_path))
+    assert same.fingerprint == cache.fingerprint
+    run_experiments([_call()], jobs=1, cache=same)
+    assert same.hits == 1
+
+
+def test_cache_write_failure_degrades_gracefully(tmp_path, monkeypatch):
+    """A full/read-only disk must not discard computed results."""
+    import repro.eval.runner as runner_module
+    cache = ResultCache(str(tmp_path))
+
+    def disk_full(*_args, **_kwargs):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(runner_module.os, "replace", disk_full)
+    results = run_experiments([_call()], jobs=1, cache=cache)
+    assert results[0].throughput > 0
+    assert cache.write_errors == 1 and cache.stores == 0
+
+
+def test_cache_clear_drops_entries(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_experiments([_call()], jobs=1, cache=cache)
+    cache.clear()
+    run_experiments([_call()], jobs=1, cache=cache)
+    assert cache.misses == 2
+
+
+def test_parallel_run_populates_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    calls = [_call(num_bins=b) for b in (1, 2)]
+    run_experiments(calls, jobs=2, cache=cache)
+    assert cache.stores == 2
+    rerun = ResultCache(str(tmp_path))
+    run_experiments(calls, jobs=2, cache=rerun)
+    assert rerun.hits == 2
+
+
+# -- CLI plumbing -------------------------------------------------------------
+
+def test_cli_parses_jobs_flag():
+    from repro.cli import build_parser
+    args = build_parser().parse_args(["reproduce", "--jobs", "4"])
+    assert args.jobs == 4
+    args = build_parser().parse_args(["energy", "--jobs", "0"])
+    assert args.jobs == 0
+    # Default stays serial.
+    args = build_parser().parse_args(["reproduce"])
+    assert args.jobs == 1 and args.cache_dir is None
+
+
+def test_cli_passes_jobs_through_to_runners(monkeypatch, capsys):
+    """``repro reproduce --jobs N`` must reach every sweep runner."""
+    import repro.cli as cli
+    seen = {}
+
+    class _Rendered:
+        def render(self):
+            return "stub"
+
+    def record(name):
+        def fake(*_args, jobs=None, cache=None, **_kwargs):
+            seen[name] = (jobs, cache)
+            return _Rendered()
+        return fake
+
+    monkeypatch.setattr(cli, "run_table2", record("table2"))
+    monkeypatch.setattr(cli, "run_fig3", record("fig3"))
+    monkeypatch.setattr(cli, "run_fig4", record("fig4"))
+    monkeypatch.setattr(cli, "run_fig5", record("fig5"))
+    monkeypatch.setattr(cli, "run_fig6", record("fig6"))
+    assert cli.main(["reproduce", "--jobs", "3"]) == 0
+    capsys.readouterr()
+    assert {name: value[0] for name, value in seen.items()} == {
+        "table2": 3, "fig3": 3, "fig4": 3, "fig5": 3, "fig6": 3}
+    assert all(value[1] is None for value in seen.values())
+
+
+def test_cli_cache_dir_builds_cache(monkeypatch, capsys, tmp_path):
+    import repro.cli as cli
+    captured = {}
+
+    class _Rendered:
+        def render(self):
+            return "stub"
+
+    def fake(*_args, jobs=None, cache=None, **_kwargs):
+        captured["cache"] = cache
+        return _Rendered()
+
+    monkeypatch.setattr(cli, "run_table2", fake)
+    assert cli.main(["energy", "--cores", "8", "--updates", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert isinstance(captured["cache"], ResultCache)
+    assert captured["cache"].path == str(tmp_path)

@@ -1,0 +1,1 @@
+"""Test package: makes relative conftest imports resolvable."""
