@@ -16,7 +16,11 @@ The package provides:
   (spin locks, LRSC lock, Colibri lock, Mwait-based MCS lock, barrier);
 * concurrent algorithms (histogram, MCS queue, matmul workers) and the
   evaluation harness regenerating every table and figure of the paper
-  (:mod:`repro.eval`).
+  (:mod:`repro.eval`);
+* a declarative scenario API (:mod:`repro.scenarios`): serializable
+  :class:`~repro.scenarios.spec.ScenarioSpec`\\ s, a workload registry,
+  and ``run_scenario``/``sweep`` — the surface behind the
+  ``repro run / list / sweep`` CLI.
 """
 
 from .arch.config import LatencyConfig, SystemConfig
@@ -34,8 +38,18 @@ from .engine.vcd import write_vcd
 from .interconnect.messages import Op, Status
 from .machine import Machine
 from .memory.variants import VariantSpec
+from .scenarios import (
+    ScenarioSpec,
+    Workload,
+    build_machine,
+    default_spec,
+    list_workloads,
+    register_workload,
+    run_scenario,
+    run_scenarios,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LatencyConfig",
@@ -53,5 +67,13 @@ __all__ = [
     "Status",
     "Machine",
     "VariantSpec",
+    "ScenarioSpec",
+    "Workload",
+    "build_machine",
+    "default_spec",
+    "list_workloads",
+    "register_workload",
+    "run_scenario",
+    "run_scenarios",
     "__version__",
 ]

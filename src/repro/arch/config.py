@@ -14,6 +14,7 @@ DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from ..engine.errors import ConfigError
 
@@ -129,19 +130,40 @@ class SystemConfig:
         return cls()
 
     @classmethod
-    def scaled(cls, num_cores: int, words_per_bank: int = 256) -> "SystemConfig":
-        """A scaled-down MemPool keeping the 4-cores/16-banks tile shape.
+    def scaled(cls, num_cores: int, words_per_bank: int = 256,
+               cores_per_tile: Optional[int] = None,
+               banks_per_tile: Optional[int] = None) -> "SystemConfig":
+        """A scaled-down MemPool, defaulting to the 4-cores/16-banks tile.
 
-        Groups shrink with the system: systems of at most 16 tiles use
-        a single level of 4 groups when divisible, otherwise fewer.
-        Used by tests and CI benchmarks.
+        ``cores_per_tile``/``banks_per_tile`` override the MemPool tile
+        shape for systems whose core count is not a multiple of 4 (e.g.
+        pipeline or barrier scenarios with odd stage counts).  Groups
+        shrink with the system: 4 groups when the tile count divides
+        evenly, otherwise 1.  Used by tests, CI benchmarks and the
+        scenario specs.
         """
-        if num_cores % 4:
-            raise ConfigError("scaled systems need num_cores % 4 == 0")
-        num_tiles = num_cores // 4
+        if num_cores < 1:
+            raise ConfigError(f"num_cores={num_cores} must be >= 1")
+        if cores_per_tile is None:
+            if num_cores % 4:
+                raise ConfigError(
+                    f"num_cores={num_cores} is not a multiple of the "
+                    f"default cores_per_tile=4; pass cores_per_tile "
+                    f"explicitly for odd shapes")
+            cores_per_tile = 4
+        elif cores_per_tile < 1 or num_cores % cores_per_tile:
+            raise ConfigError(
+                f"num_cores={num_cores} must be a positive multiple of "
+                f"cores_per_tile={cores_per_tile}")
+        if banks_per_tile is None:
+            banks_per_tile = 16
+        elif banks_per_tile < 1:
+            raise ConfigError(
+                f"banks_per_tile={banks_per_tile} must be >= 1")
+        num_tiles = num_cores // cores_per_tile
         num_groups = 4 if num_tiles % 4 == 0 and num_tiles >= 4 else 1
-        config = cls(num_cores=num_cores, cores_per_tile=4,
-                     banks_per_tile=16, num_groups=num_groups,
+        config = cls(num_cores=num_cores, cores_per_tile=cores_per_tile,
+                     banks_per_tile=banks_per_tile, num_groups=num_groups,
                      words_per_bank=words_per_bank)
         config.validate()
         return config

@@ -3,16 +3,22 @@
 Gives a downstream user the paper's experiments and the simulator's
 diagnostics without writing a kernel:
 
-* ``histogram`` — run the contended-histogram workload on any variant
-  and print the run summary (throughput, time split, hot banks);
-* ``queue`` — run the concurrent-queue workload and print throughput
-  plus per-core fairness;
-* ``interference`` — one Fig. 5 point: matmul slowdown under pollers;
+* ``run`` — execute any registered scenario from a declarative spec
+  (``repro run histogram --set bins=4 --cores 16``);
+* ``list`` — the scenario registry with defaults and descriptions;
+* ``sweep`` — a cartesian sweep over spec/param axes
+  (``repro sweep histogram --axis bins=1,4,16``);
+* ``histogram`` / ``queue`` / ``interference`` — the paper's workload
+  shortcuts (now thin shims over scenario specs) with the run-summary
+  diagnostics;
 * ``area`` — Table I (model vs paper) and the scaling extrapolation;
 * ``energy`` — Table II at a chosen scale;
 * ``reproduce`` — every table and figure (``--full`` for 256 cores).
 
-All commands are deterministic for a given ``--seed``.
+All commands are deterministic for a given ``--seed``, and every
+measurement-producing command routes through
+:mod:`repro.scenarios`, so ``--jobs``/``--cache-dir`` behave the same
+everywhere.
 """
 
 from __future__ import annotations
@@ -20,9 +26,7 @@ from __future__ import annotations
 import argparse
 from typing import Optional
 
-from .algorithms.histogram import Histogram
-from .algorithms.mcs_queue import ConcurrentQueue, queue_worker_kernel
-from .arch.config import SystemConfig
+from .engine.errors import ReproError
 from .eval.analysis import summarize
 from .eval.fig3 import run_fig3
 from .eval.fig4 import run_fig4
@@ -32,46 +36,28 @@ from .eval.reporting import render_table
 from .eval.runner import ResultCache, jobs_argument
 from .eval.table1 import run_table1, scaling_table
 from .eval.table2 import run_table2
-from .machine import Machine
-from .memory.variants import VariantSpec
-from .power.energy import EnergyModel
-from .sync.locks import (
-    AmoSpinLock,
-    ColibriSpinLock,
-    LrscSpinLock,
-    MwaitMcsLock,
+from .scenarios import (
+    apply_settings,
+    default_spec,
+    list_workloads,
+    run_scenario,
 )
-from .workloads.interference import run_interference
+from .scenarios.run import sweep as sweep_scenarios
 
-#: CLI names for hardware variants.
+#: Legacy CLI names for hardware variants -> scenario variant strings.
 VARIANT_CHOICES = {
-    "amo": VariantSpec.amo,
-    "lrsc": VariantSpec.lrsc,
-    "lrsc-table": VariantSpec.lrsc_table,
-    "lrsc-bank": VariantSpec.lrsc_bank,
-    "lrscwait1": lambda: VariantSpec.lrscwait(1),
-    "lrscwait8": lambda: VariantSpec.lrscwait(8),
-    "ideal": VariantSpec.lrscwait_ideal,
-    "colibri": VariantSpec.colibri,
-}
-
-#: CLI names for histogram lock flavours.
-LOCK_CHOICES = {
-    "amo": AmoSpinLock,
-    "lrsc": LrscSpinLock,
-    "colibri": ColibriSpinLock,
-    "mcs": MwaitMcsLock,
-}
-
-#: Default update method per variant kind when none is given.
-DEFAULT_METHODS = {
     "amo": "amo",
     "lrsc": "lrsc",
-    "lrsc_table": "lrsc",
-    "lrsc_bank": "lrsc",
-    "lrscwait": "wait",
-    "colibri": "wait",
+    "lrsc-table": "lrsc_table",
+    "lrsc-bank": "lrsc_bank",
+    "lrscwait1": "lrscwait:1",
+    "lrscwait8": "lrscwait:8",
+    "ideal": "lrscwait:ideal",
+    "colibri": "colibri",
 }
+
+#: CLI names for histogram lock flavours (scenario ``lock`` param).
+LOCK_CHOICES = ("amo", "lrsc", "colibri", "mcs")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -104,12 +90,93 @@ def _runner_options(args):
     return args.jobs, cache
 
 
+def _parse_value(text: str):
+    """A ``--set``/``--axis`` value: int, float, bool, none or string."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_settings(pairs) -> dict:
+    """``["k=v", ...]`` -> ``{k: parsed v}`` with error reporting."""
+    settings = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"repro: --set expects KEY=VALUE, got {pair!r}")
+        settings[key.strip()] = _parse_value(value.strip())
+    return settings
+
+
+def _parse_axes(pairs) -> dict:
+    """``["k=v1,v2", ...]`` -> ``{k: [parsed v1, parsed v2]}``."""
+    axes = {}
+    for pair in pairs:
+        key, sep, values = pair.partition("=")
+        if not sep or not key or not values:
+            raise SystemExit(
+                f"repro: --axis expects KEY=V1,V2[,...], got {pair!r}")
+        axes[key.strip()] = [_parse_value(v.strip())
+                             for v in values.split(",")]
+    return axes
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LRSCwait/Colibri manycore-synchronization simulator")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser(
+        "run", help="run one registered scenario from a declarative spec")
+    runp.add_argument("scenario", help="registered workload name "
+                                       "(see 'repro list')")
+    runp.add_argument("--set", action="append", default=[],
+                      dest="settings", metavar="KEY=VALUE",
+                      help="override a spec field (cores, variant, seed, "
+                           "mode, horizon, metrics, shape) or a workload "
+                           "parameter; repeatable")
+    runp.add_argument("--cores", type=int, default=None,
+                      help="shorthand for --set cores=N")
+    runp.add_argument("--variant", default=None,
+                      help="variant string, e.g. colibri, lrscwait:half")
+    runp.add_argument("--seed", type=int, default=None)
+    runp.add_argument("--smoke", action="store_true",
+                      help="apply the workload's tiny smoke parameters "
+                           "(CI uses this on every registered scenario)")
+    runp.add_argument("--show-spec", action="store_true",
+                      help="also print the spec as canonical JSON")
+    _add_jobs(runp)
+
+    lst = sub.add_parser("list", help="registered scenarios")
+    lst.add_argument("--names", action="store_true",
+                     help="names only, one per line (for scripting)")
+
+    swp = sub.add_parser(
+        "sweep", help="cartesian sweep of a scenario over axis values")
+    swp.add_argument("scenario")
+    swp.add_argument("--axis", action="append", required=True,
+                     dest="axes", metavar="KEY=V1,V2,...",
+                     help="axis to sweep; repeat for a cartesian grid")
+    swp.add_argument("--set", action="append", default=[],
+                     dest="settings", metavar="KEY=VALUE",
+                     help="fixed overrides applied to every point")
+    swp.add_argument("--cores", type=int, default=None)
+    swp.add_argument("--variant", default=None)
+    swp.add_argument("--seed", type=int, default=None)
+    _add_jobs(swp)
 
     hist = sub.add_parser("histogram",
                           help="contended histogram (Figs. 3/4 workload)")
@@ -157,55 +224,144 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _variant(args) -> VariantSpec:
-    return VARIANT_CHOICES[args.variant]()
+# -- scenario commands ---------------------------------------------------------
+
+
+def _build_spec(args):
+    """Layer defaults <- smoke <- flags <- --set into one spec."""
+    from .scenarios import get_workload
+    workload = get_workload(args.scenario)
+    spec = default_spec(args.scenario)
+    if getattr(args, "smoke", False):
+        spec = apply_settings(spec, dict(workload.smoke))
+    flags = {}
+    if getattr(args, "cores", None) is not None:
+        flags["cores"] = args.cores
+    if getattr(args, "variant", None) is not None:
+        flags["variant"] = args.variant
+    if getattr(args, "seed", None) is not None:
+        flags["seed"] = args.seed
+    if flags:
+        spec = apply_settings(spec, flags)
+    spec = apply_settings(spec, _parse_settings(args.settings))
+    spec.validate()
+    return spec
+
+
+def cmd_run(args) -> str:
+    spec = _build_spec(args)
+    jobs, cache = _runner_options(args)
+    result = run_scenario(spec, jobs=jobs, cache=cache)
+    rows = [("scenario", spec.workload),
+            ("spec", spec.describe()),
+            ("spec hash", spec.stable_hash()[:16])]
+    rows.extend(sorted(result.scalars().items()))
+    out = render_table(["field", "value"], rows,
+                       title=f"scenario: {spec.workload}")
+    if args.show_spec:
+        out += "\n\nspec JSON:\n" + spec.to_json()
+    return out
+
+
+def cmd_list(args) -> str:
+    entries = list_workloads()
+    if args.names:
+        return "\n".join(name for name, _workload in entries)
+    rows = []
+    for name, workload in entries:
+        defaults = ", ".join(f"{key}={value}" for key, value
+                             in sorted(workload.params.items()))
+        rows.append((name, workload.description, defaults))
+    return render_table(["scenario", "description", "parameters (defaults)"],
+                        rows,
+                        title=f"{len(rows)} registered scenarios "
+                              f"(run one: repro run <scenario>)")
+
+
+def cmd_sweep(args) -> str:
+    axes = _parse_axes(args.axes)
+    base = _build_spec(args)
+    jobs, cache = _runner_options(args)
+    outcomes = sweep_scenarios(base, axes, jobs=jobs, cache=cache)
+    axis_keys = list(axes)
+    metric_keys = sorted({key for _combo, result in outcomes
+                          for key in result.metrics})
+    headers = axis_keys + ["cycles", "throughput", "messages"] + metric_keys
+    rows = []
+    for combo, result in outcomes:
+        row = [combo[key] for key in axis_keys]
+        row.extend([result.cycles, result.throughput, result.messages])
+        row.extend(result.metrics.get(key, "") for key in metric_keys)
+        rows.append(row)
+    title = (f"sweep: {base.workload} over "
+             + " x ".join(f"{key}[{len(axes[key])}]" for key in axis_keys))
+    return render_table(headers, rows, title=title)
+
+
+# -- legacy workload shortcuts (spec shims) ------------------------------------
 
 
 def cmd_histogram(args) -> str:
-    variant = _variant(args)
-    method = args.method or DEFAULT_METHODS[variant.kind]
-    machine = Machine(SystemConfig.scaled(args.cores), variant,
-                      seed=args.seed)
-    histogram = Histogram(machine, args.bins)
+    spec = default_spec("histogram").override(
+        num_cores=args.cores,
+        variant=VARIANT_CHOICES[args.variant],
+        seed=args.seed)
+    variant = spec.variant_spec()
+    # Record the concrete method (and the lock only when one is used)
+    # so the spec's stable_hash reflects what actually runs, aligned
+    # with the figure runners' histogram_spec identities.
+    method = args.method or variant.native_method
+    params = {"bins": args.bins, "updates_per_core": args.updates,
+              "method": method}
     if method == "lock":
-        histogram.attach_locks(LOCK_CHOICES[args.lock])
-    machine.load_all(histogram.kernel_factory(method, args.updates))
-    stats = machine.run()
-    histogram.verify(args.cores * args.updates)
-    energy = EnergyModel().evaluate(stats)
+        params["lock"] = args.lock
+    spec = spec.with_params(**params)
+    result = run_scenario(spec)
+    pj = result.metrics["pj_per_op"]
     title = (f"histogram: {variant.label()}/{method}, {args.cores} cores, "
-             f"{args.bins} bins ({energy.pj_per_op:.0f} pJ/op)")
-    return summarize(stats, title=title)
+             f"{args.bins} bins ({pj:.0f} pJ/op)")
+    return summarize(result.stats, title=title)
 
 
 def cmd_queue(args) -> str:
-    variant = {"lrsc": VariantSpec.lrsc(), "wait": VariantSpec.colibri(),
-               "lock": VariantSpec.amo()}[args.method]
-    machine = Machine(SystemConfig.scaled(args.cores), variant,
-                      seed=args.seed)
-    queue = ConcurrentQueue(machine, args.method,
-                            nodes_per_core=args.ops // 2 + 2)
-    machine.load_all(lambda api: queue_worker_kernel(queue, api, args.ops))
-    stats = machine.run()
-    return summarize(stats, title=(f"queue: {args.method}, "
-                                   f"{args.cores} cores"))
+    variant = {"lrsc": "lrsc", "wait": "colibri", "lock": "amo"}[args.method]
+    spec = default_spec("queue").override(
+        num_cores=args.cores, variant=variant, seed=args.seed,
+    ).with_params(method=args.method, ops_per_core=args.ops)
+    result = run_scenario(spec)
+    return summarize(result.stats, title=(f"queue: {args.method}, "
+                                          f"{args.cores} cores"))
 
 
 def cmd_interference(args) -> str:
-    variant = _variant(args)
-    method = DEFAULT_METHODS[variant.kind]
-    result = run_interference(SystemConfig.scaled(args.cores), variant,
-                              method, args.workers, args.bins,
-                              seed=args.seed)
+    spec = default_spec("interference").override(
+        num_cores=args.cores,
+        variant=VARIANT_CHOICES[args.variant],
+        seed=args.seed,
+    ).with_params(
+        method=spec_method(VARIANT_CHOICES[args.variant], args.cores),
+        workers=args.workers,
+        bins=args.bins)
+    result = run_scenario(spec)
+    point = result.point
     rows = [
-        ("pollers : workers", f"{result.num_pollers}:{result.num_workers}"),
-        ("bins", result.num_bins),
-        ("baseline cycles", result.baseline_cycles),
-        ("interfered cycles", result.interfered_cycles),
-        ("relative throughput", round(result.relative_throughput, 4)),
+        ("pollers : workers", f"{point.num_pollers}:{point.num_workers}"),
+        ("bins", point.num_bins),
+        ("baseline cycles", point.baseline_cycles),
+        ("interfered cycles", point.interfered_cycles),
+        ("relative throughput", round(point.relative_throughput, 4)),
     ]
     return render_table(["metric", "value"], rows,
-                        title=f"interference: {variant.label()}")
+                        title=f"interference: {spec.variant_spec().label()}")
+
+
+def spec_method(variant_text: str, num_cores: int) -> str:
+    """The native RMW method of a variant string (poller flavour)."""
+    from .scenarios.spec import parse_variant
+    return parse_variant(variant_text, num_cores).native_method
+
+
+# -- paper tables/figures ------------------------------------------------------
 
 
 def cmd_area(_args) -> str:
@@ -234,6 +390,9 @@ def cmd_reproduce(args) -> str:
 
 
 COMMANDS = {
+    "run": cmd_run,
+    "list": cmd_list,
+    "sweep": cmd_sweep,
     "histogram": cmd_histogram,
     "queue": cmd_queue,
     "interference": cmd_interference,
@@ -246,5 +405,9 @@ COMMANDS = {
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    print(COMMANDS[args.command](args))
+    try:
+        print(COMMANDS[args.command](args))
+    except ReproError as exc:
+        print(f"repro: {exc}")
+        return 2
     return 0

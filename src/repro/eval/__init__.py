@@ -10,13 +10,15 @@ from .export import export_all
 from .fig3 import Fig3Result, run_fig3
 from .fig4 import Fig4Result, run_fig4
 from .fig5 import Fig5Result, run_fig5
-from .fig6 import Fig6Result, QueuePoint, run_fig6, run_queue_point
+from .fig6 import Fig6Result, QueuePoint, queue_spec, run_fig6, \
+    run_queue_point
 from .harness import (
     FIG3_SERIES,
     FIG4_SERIES,
     HistogramPoint,
     SeriesSpec,
     TABLE2_SERIES,
+    histogram_spec,
     run_histogram_point,
     sweep_bins,
 )
@@ -30,7 +32,7 @@ from .runner import (
     run_grid,
 )
 from .table1 import Table1Result, run_table1, scaling_table
-from .table2 import Table2Result, run_table2
+from .table2 import Table2Result, run_table2, table2_specs
 
 __all__ = [
     "bank_pressure",
@@ -46,6 +48,7 @@ __all__ = [
     "run_fig5",
     "Fig6Result",
     "QueuePoint",
+    "queue_spec",
     "run_fig6",
     "run_queue_point",
     "FIG3_SERIES",
@@ -53,8 +56,10 @@ __all__ = [
     "HistogramPoint",
     "SeriesSpec",
     "TABLE2_SERIES",
+    "histogram_spec",
     "run_histogram_point",
     "sweep_bins",
+    "table2_specs",
     "render_series",
     "render_table",
     "ExperimentCall",

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .harness import FIG3_SERIES, sweep_bins
+from ..scenarios.spec import ScenarioSpec
+from .harness import FIG3_SERIES, histogram_spec, sweep_bins
 from .reporting import render_series
 
 #: Default bin sweep (paper: 1..1024; scaled runs cap at #banks).
@@ -65,6 +66,14 @@ class Fig3Result:
             "#Bins", self.bins, self.throughput_series(),
             title=(f"Fig. 3 — histogram updates/cycle "
                    f"({self.num_cores} cores)"))
+
+
+def point_spec(label: str, num_bins: int, num_cores: int = 64,
+               updates_per_core: int = 8, seed: int = 0) -> ScenarioSpec:
+    """The scenario spec of one Fig. 3 point, by legend label."""
+    by_label = {series.label: series for series in FIG3_SERIES}
+    return histogram_spec(by_label[label], num_cores, num_bins,
+                          updates_per_core, seed=seed)
 
 
 def run_fig3(num_cores: int = 64, bins_list=None, updates_per_core: int = 8,

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..scenarios.spec import ScenarioSpec
 from .fig3 import FULL_BINS
-from .harness import FIG4_SERIES, sweep_bins
+from .harness import FIG4_SERIES, histogram_spec, sweep_bins
 from .reporting import render_series
 
 #: Approximate values read off the published Fig. 4 (updates/cycle,
@@ -57,6 +58,14 @@ class Fig4Result:
             "#Bins", self.bins, self.throughput_series(),
             title=(f"Fig. 4 — lock vs RMW histogram updates/cycle "
                    f"({self.num_cores} cores)"))
+
+
+def point_spec(label: str, num_bins: int, num_cores: int = 64,
+               updates_per_core: int = 8, seed: int = 0) -> ScenarioSpec:
+    """The scenario spec of one Fig. 4 point, by legend label."""
+    by_label = {series.label: series for series in FIG4_SERIES}
+    return histogram_spec(by_label[label], num_cores, num_bins,
+                          updates_per_core, seed=seed)
 
 
 def run_fig4(num_cores: int = 64, bins_list=None, updates_per_core: int = 8,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from ..arch.config import SystemConfig
 from ..memory.variants import VariantSpec
-from ..workloads.interference import run_interference
+from ..scenarios.run import run_spec_grid
 from .reporting import render_series
 
 #: Worker fractions matching the paper's 256-core ratios.
@@ -69,13 +69,17 @@ def run_fig5(num_cores: int = 64, bins_list=None, matmul_dim: int = 12,
     """Regenerate Fig. 5 at the given scale.
 
     Runs Colibri at the most adversarial ratio plus LRSC at every
-    paper ratio, exactly like the published figure.  ``jobs``/``cache``
-    shard and memoize the independent (ratio, bins) points (see
-    :mod:`repro.eval.runner`).
+    paper ratio, exactly like the published figure.  Each (ratio,
+    bins) point is an ``interference`` scenario spec; ``jobs``/
+    ``cache`` shard and memoize them (see :mod:`repro.scenarios.run`).
     """
-    from .runner import ExperimentCall, run_grid
+    # Late import: repro.eval's package init reaches this module while
+    # repro.scenarios.workloads (which registers the workload) may
+    # itself still be mid-import via the scenarios package init.
+    from ..scenarios.workloads import interference_spec
     if bins_list is None:
         bins_list = FULL_BINS
+    bins_list = list(bins_list)
     worker_counts = sorted(
         {max(1, round(num_cores * fraction))
          for fraction in PAPER_WORKER_FRACTIONS},
@@ -90,13 +94,13 @@ def run_fig5(num_cores: int = 64, bins_list=None, matmul_dim: int = 12,
     rows = [(_ratio_label(name, num_cores, workers),
              (variant, method, workers))
             for name, variant, method, workers in combos]
-    points = run_grid(
+    grid = run_spec_grid(
         rows, bins_list,
-        lambda spec, bins: ExperimentCall(
-            run_interference,
-            (config, spec[0], spec[1], spec[2], bins, matmul_dim, seed)),
+        lambda row, bins: interference_spec(
+            config, row[0], row[1], row[2], bins,
+            matmul_dim=matmul_dim, seed=seed),
         jobs=jobs, cache=cache)
-    series = {label: [point.relative_throughput for point in row]
-              for label, row in points.items()}
-    return Fig5Result(num_cores=num_cores, bins=list(bins_list),
+    series = {label: [result.point.relative_throughput for result in row]
+              for label, row in grid.items()}
+    return Fig5Result(num_cores=num_cores, bins=bins_list,
                       series=series)

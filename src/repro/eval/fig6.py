@@ -15,10 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..algorithms.mcs_queue import ConcurrentQueue, queue_worker_kernel
-from ..arch.config import SystemConfig
-from ..machine import Machine
 from ..memory.variants import VariantSpec
+from ..scenarios.run import run_scenario, run_spec_grid
+from ..scenarios.spec import ScenarioSpec, variant_string
+from .points import QueuePoint
 from .reporting import render_series
 
 #: Queue method per legend label.
@@ -34,32 +34,6 @@ PAPER_REFERENCE = {
     "Atomic Add lock": {"8": 0.078, "64": 0.020},
     "LRSC": {"8": 0.075, "64": 0.015},
 }
-
-
-@dataclass
-class QueuePoint:
-    """One (method, #cores) queue measurement.
-
-    Every core performs the same number of accesses, so fairness shows
-    in the spread of per-core *rates* (ops / own finish time): an
-    unfair scheme lets lucky cores finish long before starved ones —
-    that spread is the paper's shaded band.
-    """
-
-    label: str
-    num_cores: int
-    throughput: float
-    cycles: int
-    min_core_rate: float
-    max_core_rate: float
-    jain_fairness: float
-
-    @property
-    def fairness_band(self) -> float:
-        """max/min per-core rate (1.0 = perfectly fair)."""
-        if self.min_core_rate == 0:
-            return float("inf")
-        return self.max_core_rate / self.min_core_rate
 
 
 @dataclass
@@ -97,33 +71,25 @@ class Fig6Result:
         return throughput + "\n\n" + fairness
 
 
+def queue_spec(label: str, system_cores: int, active_cores: int,
+               ops_per_core: int, seed: int = 0) -> ScenarioSpec:
+    """The scenario spec of one Fig. 6 (series, #active cores) point."""
+    method, variant = SERIES_METHODS[label]
+    return ScenarioSpec(
+        workload="queue",
+        num_cores=system_cores,
+        variant=variant_string(variant),
+        params={"method": method, "active_cores": active_cores,
+                "ops_per_core": ops_per_core, "label": label},
+        seed=seed)
+
+
 def run_queue_point(label: str, system_cores: int, active_cores: int,
                     ops_per_core: int, seed: int = 0) -> QueuePoint:
     """One queue measurement: ``active_cores`` of ``system_cores`` work."""
-    method, variant = SERIES_METHODS[label]
-    config = SystemConfig.scaled(system_cores)
-    machine = Machine(config, variant, seed=seed)
-    queue = ConcurrentQueue(machine, method,
-                            nodes_per_core=ops_per_core // 2 + 2)
-    machine.load_range(
-        range(active_cores),
-        lambda api: queue_worker_kernel(queue, api, ops_per_core))
-    stats = machine.run()
-    rates = []
-    for core_id in range(active_cores):
-        finish = machine.cores[core_id].finish_cycle or stats.cycles
-        rates.append(stats.cores[core_id].ops_completed / max(1, finish))
-    total = sum(rates)
-    jain = (total * total / (len(rates) * sum(r * r for r in rates))
-            if total else 1.0)
-    return QueuePoint(
-        label=label,
-        num_cores=active_cores,
-        throughput=stats.throughput,
-        cycles=stats.cycles,
-        min_core_rate=min(rates),
-        max_core_rate=max(rates),
-        jain_fairness=jain)
+    spec = queue_spec(label, system_cores, active_cores, ops_per_core,
+                      seed=seed)
+    return run_scenario(spec).point
 
 
 def run_fig6(max_cores: int = 64, core_counts=None, ops_per_core: int = 16,
@@ -131,19 +97,20 @@ def run_fig6(max_cores: int = 64, core_counts=None, ops_per_core: int = 16,
     """Regenerate Fig. 6 at the given scale.
 
     The *system* stays at ``max_cores`` (bank count fixed) while the
-    number of cores using the queue sweeps, as in the paper.
-    ``jobs``/``cache`` shard and memoize the independent (method,
-    #cores) points (see :mod:`repro.eval.runner`).
+    number of cores using the queue sweeps, as in the paper.  Points
+    are independent scenario specs; ``jobs``/``cache`` shard and
+    memoize them (see :mod:`repro.scenarios.run`).
     """
-    from .runner import ExperimentCall, run_grid
     if core_counts is None:
         core_counts = [c for c in (1, 2, 4, 8, 16, 32, 64, 128, 256)
                        if c <= max_cores]
-    points = run_grid(
+    core_counts = list(core_counts)
+    grid = run_spec_grid(
         [(label, label) for label in SERIES_METHODS],
         core_counts,
-        lambda label, active: ExperimentCall(
-            run_queue_point, (label, max_cores, active, ops_per_core),
-            {"seed": seed}),
+        lambda label, active: queue_spec(label, max_cores, active,
+                                         ops_per_core, seed=seed),
         jobs=jobs, cache=cache)
-    return Fig6Result(core_counts=list(core_counts), points=points)
+    points = {label: [result.point for result in row]
+              for label, row in grid.items()}
+    return Fig6Result(core_counts=core_counts, points=points)

@@ -1,10 +1,15 @@
-"""Shared experiment runners.
+"""Shared experiment runners, as scenario-spec factories.
 
 The histogram experiments (Figs. 3 and 4, Table II) all run the same
 workload with different (variant, update-method, lock) combinations;
 :data:`SERIES` names each combination exactly as the paper's legends
-do, and :func:`run_histogram_point` produces one measured point with
-throughput, traffic and energy attached.
+do.  Since the scenario API landed, a :class:`SeriesSpec` is purely a
+*naming* layer: :func:`histogram_spec` turns one (series, scale,
+contention) combination into a :class:`~repro.scenarios.spec.
+ScenarioSpec`, and :func:`run_histogram_point` /:func:`sweep_bins`
+execute those specs through :func:`~repro.scenarios.run.run_scenario`
+— same measured numbers, but every point is now serializable,
+hashable, cacheable and shardable like any other scenario.
 """
 
 from __future__ import annotations
@@ -12,18 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..algorithms.histogram import Histogram
-from ..arch.config import SystemConfig
-from ..machine import Machine
 from ..memory.variants import VariantSpec
-from ..power.energy import EnergyModel, EnergyReport
-from ..sync.backoff import FixedBackoff
-from ..sync.locks import (
-    AmoSpinLock,
-    ColibriSpinLock,
-    LrscSpinLock,
-    MwaitMcsLock,
-)
+from ..scenarios.run import run_scenario, run_spec_grid
+from ..scenarios.spec import ScenarioSpec, variant_string
+from .points import HistogramPoint
+
+__all__ = [
+    "SeriesSpec", "HistogramPoint", "FIG3_SERIES", "FIG4_SERIES",
+    "TABLE2_SERIES", "histogram_spec", "run_histogram_point",
+    "sweep_bins",
+]
 
 
 @dataclass(frozen=True)
@@ -54,12 +57,8 @@ class SeriesSpec:
 
     def lock_class(self):
         """The lock implementation for ``method == "lock"`` series."""
-        return {
-            "amo": AmoSpinLock,
-            "lrsc": LrscSpinLock,
-            "colibri": ColibriSpinLock,
-            "mcs": MwaitMcsLock,
-        }[self.lock]
+        from ..scenarios.workloads import LOCK_CLASSES
+        return LOCK_CLASSES[self.lock]
 
 
 #: Fig. 3 legend (generic RMW primitives).
@@ -91,80 +90,52 @@ TABLE2_SERIES = [
 ]
 
 
-@dataclass
-class HistogramPoint:
-    """One measured (series, #bins) histogram point."""
-
-    label: str
-    num_cores: int
-    num_bins: int
-    updates_per_core: int
-    cycles: int
-    throughput: float
-    sc_failures: int
-    wait_rejections: int
-    sleep_cycles: int
-    active_cycles: int
-    messages: int
-    energy: EnergyReport
-
-    @property
-    def pj_per_op(self) -> float:
-        """Energy per histogram update."""
-        return self.energy.pj_per_op
+def histogram_spec(series: SeriesSpec, num_cores: int, num_bins: int,
+                   updates_per_core: int, seed: int = 0,
+                   lock_backoff_window: int = 128) -> ScenarioSpec:
+    """The scenario spec of one (series, scale, contention) point."""
+    params = {
+        "bins": num_bins,
+        "updates_per_core": updates_per_core,
+        "method": series.method,
+        "label": series.label,
+    }
+    if series.method == "lock":
+        params["lock"] = series.lock
+        params["lock_backoff_window"] = lock_backoff_window
+    return ScenarioSpec(
+        workload="histogram",
+        num_cores=num_cores,
+        variant=variant_string(series.variant(num_cores)),
+        params=params,
+        seed=seed)
 
 
 def run_histogram_point(series: SeriesSpec, num_cores: int, num_bins: int,
                         updates_per_core: int, seed: int = 0,
                         lock_backoff_window: int = 128) -> HistogramPoint:
     """Run one histogram configuration to completion and verify it."""
-    config = SystemConfig.scaled(num_cores)
-    machine = Machine(config, series.variant(num_cores), seed=seed)
-    histogram = Histogram(machine, num_bins)
-    if series.method == "lock":
-        lock_cls = series.lock_class()
-        if lock_cls is MwaitMcsLock:
-            histogram.attach_locks(lock_cls)
-        else:
-            histogram.attach_locks(
-                lock_cls, backoff=FixedBackoff(lock_backoff_window))
-    machine.load_all(histogram.kernel_factory(
-        "lock" if series.method == "lock" else series.method,
-        updates_per_core))
-    stats = machine.run()
-    histogram.verify(num_cores * updates_per_core)
-    energy = EnergyModel().evaluate(stats)
-    return HistogramPoint(
-        label=series.label,
-        num_cores=num_cores,
-        num_bins=num_bins,
-        updates_per_core=updates_per_core,
-        cycles=stats.cycles,
-        throughput=stats.throughput,
-        sc_failures=stats.total_sc_failures,
-        wait_rejections=sum(c.wait_rejections for c in stats.cores),
-        sleep_cycles=stats.total_sleep_cycles,
-        active_cycles=stats.total_active_cycles,
-        messages=stats.network.total_messages,
-        energy=energy)
+    spec = histogram_spec(series, num_cores, num_bins, updates_per_core,
+                          seed=seed,
+                          lock_backoff_window=lock_backoff_window)
+    return run_scenario(spec).point
 
 
 def sweep_bins(series_list, num_cores: int, bins_list, updates_per_core: int,
                seed: int = 0, jobs: int = 1, cache=None) -> dict:
     """Run a bin sweep for every series; returns label -> [points].
 
-    Points are independent simulations, so ``jobs > 1`` shards them
+    Points are independent scenario specs, so ``jobs > 1`` shards them
     across a worker pool (deterministic: any ``jobs`` value returns
     identical results) and ``cache`` (a
     :class:`~repro.eval.runner.ResultCache`) skips already-simulated
-    configurations.
+    configurations, keyed by each spec's ``stable_hash``.
     """
-    from .runner import ExperimentCall, run_grid
-    return run_grid(
+    grid = run_spec_grid(
         [(series.label, series) for series in series_list],
         bins_list,
-        lambda series, num_bins: ExperimentCall(
-            run_histogram_point,
-            (series, num_cores, num_bins, updates_per_core),
-            {"seed": seed}),
+        lambda series, num_bins: histogram_spec(
+            series, num_cores, num_bins, updates_per_core, seed=seed),
         jobs=jobs, cache=cache)
+    return {label: [result.point for result in row]
+            for label, row in grid.items()}

@@ -1,0 +1,65 @@
+"""Measured-point dataclasses shared by the figure runners and the
+scenario workloads.
+
+These used to live next to their runners (``HistogramPoint`` in
+:mod:`repro.eval.harness`, ``QueuePoint`` in :mod:`repro.eval.fig6`),
+but the scenario registry builds them too, and the runners are now
+spec factories *on top of* the registry — so the result types sit
+below both in a dependency-free module.  The original homes re-export
+them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power.energy import EnergyReport
+
+
+@dataclass
+class HistogramPoint:
+    """One measured (series, #bins) histogram point."""
+
+    label: str
+    num_cores: int
+    num_bins: int
+    updates_per_core: int
+    cycles: int
+    throughput: float
+    sc_failures: int
+    wait_rejections: int
+    sleep_cycles: int
+    active_cycles: int
+    messages: int
+    energy: EnergyReport
+
+    @property
+    def pj_per_op(self) -> float:
+        """Energy per histogram update."""
+        return self.energy.pj_per_op
+
+
+@dataclass
+class QueuePoint:
+    """One (method, #cores) queue measurement.
+
+    Every core performs the same number of accesses, so fairness shows
+    in the spread of per-core *rates* (ops / own finish time): an
+    unfair scheme lets lucky cores finish long before starved ones —
+    that spread is the paper's shaded band.
+    """
+
+    label: str
+    num_cores: int
+    throughput: float
+    cycles: int
+    min_core_rate: float
+    max_core_rate: float
+    jain_fairness: float
+
+    @property
+    def fairness_band(self) -> float:
+        """max/min per-core rate (1.0 = perfectly fair)."""
+        if self.min_core_rate == 0:
+            return float("inf")
+        return self.max_core_rate / self.min_core_rate

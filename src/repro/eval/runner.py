@@ -142,7 +142,10 @@ class ResultCache:
         self.write_errors = 0
 
     def _key(self, call: ExperimentCall) -> str:
-        blob = f"{self.fingerprint}\x1f{call.config_key()}"
+        return self._key_for(call.config_key())
+
+    def _key_for(self, config_hash: str) -> str:
+        blob = f"{self.fingerprint}\x1f{config_hash}"
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def _file(self, key: str) -> str:
@@ -150,7 +153,19 @@ class ResultCache:
 
     def lookup(self, call: ExperimentCall):
         """Cached result for ``call``, or the module-private miss sentinel."""
-        key = self._key(call)
+        return self.lookup_hash(call.config_key(), _MISS)
+
+    def lookup_hash(self, config_hash: str, default=None):
+        """Cached result under a caller-computed config hash.
+
+        The scenario layer keys entries by
+        :meth:`~repro.scenarios.spec.ScenarioSpec.stable_hash` instead
+        of an :class:`ExperimentCall`; both paths share the fingerprint
+        folding and the hit/miss accounting.  Returns ``default`` on a
+        miss (callers pass their own sentinel to permit cached
+        ``None``\\ s).
+        """
+        key = self._key_for(config_hash)
         if key in self._memory:
             self.hits += 1
             return self._memory[key]
@@ -159,7 +174,7 @@ class ResultCache:
                 result = pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError):
             self.misses += 1
-            return _MISS
+            return default
         self._memory[key] = result
         self.hits += 1
         return result
@@ -171,7 +186,11 @@ class ResultCache:
         degrades to cache-less operation instead of discarding the
         already-computed simulation results with an exception.
         """
-        key = self._key(call)
+        self.store_hash(call.config_key(), result)
+
+    def store_hash(self, config_hash: str, result) -> None:
+        """Persist one finished point under a caller-computed hash."""
+        key = self._key_for(config_hash)
         self._memory[key] = result
         tmp = self._file(key) + ".tmp"
         try:

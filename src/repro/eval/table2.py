@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .harness import TABLE2_SERIES, run_histogram_point
+from ..scenarios.run import run_scenarios
+from .harness import TABLE2_SERIES, histogram_spec
 from .reporting import render_table
 
 #: Published Table II: label -> (power mW, energy pJ/op, delta %).
@@ -60,23 +61,26 @@ class Table2Result:
                    f"({self.num_cores} cores)"))
 
 
+def table2_specs(num_cores: int = 64, updates_per_core: int = 8,
+                 seed: int = 0) -> list:
+    """The four scenario specs behind Table II's rows."""
+    return [histogram_spec(series, num_cores, 1, updates_per_core,
+                           seed=seed)
+            for series in TABLE2_SERIES]
+
+
 def run_table2(num_cores: int = 64, updates_per_core: int = 8,
                seed: int = 0, jobs: int = 1, cache=None) -> Table2Result:
     """Regenerate Table II at the given scale (histogram, 1 bin).
 
-    ``jobs``/``cache`` shard and memoize the independent rows (see
-    :mod:`repro.eval.runner`).
+    Rows are independent scenario specs; ``jobs``/``cache`` shard and
+    memoize them (see :mod:`repro.scenarios.run`).
     """
-    from .runner import ExperimentCall, run_experiments
-    calls = [
-        ExperimentCall(run_histogram_point,
-                       (series, num_cores, 1, updates_per_core),
-                       {"seed": seed})
-        for series in TABLE2_SERIES
-    ]
-    points = run_experiments(calls, jobs=jobs, cache=cache)
+    specs: list = table2_specs(num_cores, updates_per_core, seed=seed)
+    results = run_scenarios(specs, jobs=jobs, cache=cache)
     raw = []
-    for series, point in zip(TABLE2_SERIES, points):
+    for series, result in zip(TABLE2_SERIES, results):
+        point = result.point
         raw.append((series.label, point.energy.power_mw(),
                     point.pj_per_op))
     colibri_pj = next(pj for label, _p, pj in raw if label == "Colibri")

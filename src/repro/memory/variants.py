@@ -97,6 +97,20 @@ class VariantSpec:
         """True when LRwait/SCwait/Mwait are legal on this variant."""
         return self.kind in ("lrscwait", "colibri")
 
+    @property
+    def native_method(self) -> str:
+        """The RMW update method this hardware is built for.
+
+        The default a workload uses when no method is requested:
+        ``amoadd`` on AMO-only hardware, LR/SC retry loops on the LR/SC
+        family, LRwait/SCwait on wait-capable units.
+        """
+        if self.kind == "amo":
+            return "amo"
+        if self.supports_wait:
+            return "wait"
+        return "lrsc"
+
     def label(self) -> str:
         """Short human-readable name used in result tables."""
         if self.kind == "lrscwait":

@@ -1,0 +1,77 @@
+"""Declarative scenario API.
+
+A :class:`ScenarioSpec` fully describes one experiment point — system
+shape, atomic-unit variant, a registered workload with parameters, run
+mode, and seed — and is plain serializable data, so a spec alone
+reproduces a measurement::
+
+    from repro.scenarios import default_spec, run_scenario
+
+    spec = default_spec("histogram", num_cores=16).with_params(bins=4)
+    result = run_scenario(spec)
+    print(result.cycles, result.throughput, spec.stable_hash()[:12])
+
+Workloads register by name (:func:`register_workload`); the paper's
+kernels are built in and ``examples/custom_scenario.py`` shows a user
+registration.  The figure/table runners in :mod:`repro.eval` are thin
+spec factories on top of this package, and the ``repro run / list /
+sweep`` CLI drives it directly.
+"""
+
+from .registry import (
+    LoadedWorkload,
+    UnknownWorkloadError,
+    Workload,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    register_workload,
+    unregister_workload,
+)
+from .run import (
+    METRICS,
+    ScenarioResult,
+    apply_settings,
+    build_machine,
+    default_spec,
+    run_scenario,
+    run_scenarios,
+    sweep,
+)
+from .spec import (
+    RUN_MODES,
+    ScenarioSpec,
+    parse_variant,
+    shape_from_config,
+    variant_string,
+)
+
+# Importing the module registers the built-in workloads; it must come
+# after the submodule imports above (it reaches back into them).
+from . import workloads as _builtin_workloads  # noqa: E402,F401
+from .workloads import interference_spec
+
+__all__ = [
+    "LoadedWorkload",
+    "METRICS",
+    "RUN_MODES",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "UnknownWorkloadError",
+    "Workload",
+    "WorkloadSpec",
+    "apply_settings",
+    "build_machine",
+    "default_spec",
+    "get_workload",
+    "interference_spec",
+    "list_workloads",
+    "parse_variant",
+    "register_workload",
+    "run_scenario",
+    "run_scenarios",
+    "shape_from_config",
+    "sweep",
+    "unregister_workload",
+    "variant_string",
+]

@@ -1,0 +1,158 @@
+"""The workload registry.
+
+A *workload* packages everything a :class:`~repro.scenarios.spec.
+ScenarioSpec` needs beyond the machine itself: default parameters,
+kernel construction, verification, and result extraction.  Workloads
+register under a name with the :func:`register_workload` decorator::
+
+    @register_workload("histogram")
+    class HistogramWorkload(Workload):
+        params = {"bins": 16, "updates_per_core": 8}
+        def load(self, machine, spec):
+            ...
+            return LoadedWorkload(verify=..., finish=...)
+
+and are looked up by :func:`get_workload` when a spec runs.  User code
+registers its own workloads exactly the same way (see
+``examples/custom_scenario.py``); nothing distinguishes built-ins.
+
+:class:`WorkloadSpec` is the structural protocol a registered class
+must satisfy; :class:`Workload` is the convenience base class that
+implements the common run template (build machine → load → run mode →
+verify → collect) so most workloads only write :meth:`Workload.load`.
+Composite experiments that need full control of execution (e.g. the
+paired baseline/interfered interference measurement) override
+:meth:`Workload.run` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+
+from ..engine.errors import ConfigError
+
+
+class UnknownWorkloadError(ConfigError):
+    """A spec named a workload that is not registered."""
+
+
+@dataclass
+class LoadedWorkload:
+    """What :meth:`Workload.load` hands back to the run template.
+
+    * ``watched`` — core ids whose completion ends a ``mode="watched"``
+      run (``None`` if the workload does not support that mode);
+    * ``verify`` — correctness check, called after completion runs
+      (horizon/watched runs freeze kernels mid-flight, so invariants
+      that assume full completion are skipped there);
+    * ``finish`` — ``finish(stats) -> (point, metrics)`` builds the
+      workload's native result object (may be ``None``) plus a dict of
+      scalar metrics for generic rendering.
+    """
+
+    watched: Optional[Sequence[int]] = None
+    verify: Optional[Callable[[], None]] = None
+    finish: Optional[Callable] = None
+
+
+@runtime_checkable
+class WorkloadSpec(Protocol):
+    """Structural interface of a registered workload."""
+
+    name: str
+    description: str
+    #: Default workload parameters; spec ``params`` must be a subset.
+    params: dict
+
+    def load(self, machine, spec) -> LoadedWorkload:
+        """Allocate data, attach kernels; return the run hooks."""
+        ...
+
+    def run(self, spec):
+        """Execute the spec end-to-end, returning a ScenarioResult."""
+        ...
+
+
+class Workload:
+    """Base class implementing the standard scenario run template."""
+
+    name: str = ""
+    description: str = ""
+    #: Default workload parameters (every legal param key appears here).
+    params: dict = {}
+    #: Spec-level field defaults for :func:`default_spec` (e.g. a
+    #: workload that wants an odd tile shape or a specific variant).
+    spec_defaults: dict = {}
+    #: Tiny overrides (spec fields or params) for CI smoke runs.
+    smoke: dict = {}
+
+    def resolve_params(self, spec) -> dict:
+        """Defaults merged with the spec's overrides; rejects unknowns."""
+        overrides = spec.params_dict()
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            raise ConfigError(
+                f"unknown params {unknown} for workload {self.name!r}; "
+                f"accepted: {sorted(self.params)}")
+        merged = dict(self.params)
+        merged.update(overrides)
+        return merged
+
+    def load(self, machine, spec) -> LoadedWorkload:
+        raise NotImplementedError(
+            f"workload {self.name!r} does not implement load()")
+
+    def run(self, spec):
+        from .run import execute                  # late: avoid cycle
+        return execute(self, spec)
+
+
+#: name -> workload instance.
+_REGISTRY: dict = {}
+
+
+def register_workload(name: str, *, replace: bool = False):
+    """Class decorator registering a workload under ``name``.
+
+    The class is instantiated once at registration (workloads are
+    stateless — per-run state lives in :meth:`Workload.load` closures).
+    Re-registering an existing name raises unless ``replace=True``,
+    which user code can use to shadow a built-in deliberately.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"workload name must be a non-empty string, "
+                          f"got {name!r}")
+
+    def decorator(cls):
+        if name in _REGISTRY and not replace:
+            raise ConfigError(
+                f"workload {name!r} already registered "
+                f"({type(_REGISTRY[name]).__name__}); "
+                f"pass replace=True to shadow it")
+        instance = cls()
+        instance.name = name
+        _REGISTRY[name] = instance
+        return cls
+
+    return decorator
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registration (mainly for tests tearing down fixtures)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_workload(name: str):
+    """The registered workload instance, or :class:`UnknownWorkloadError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"no workload registered under {name!r}; "
+            f"registered: {', '.join(sorted(_REGISTRY)) or '(none)'}")
+
+
+def list_workloads() -> list:
+    """``(name, workload)`` pairs, sorted by name."""
+    return sorted(_REGISTRY.items())

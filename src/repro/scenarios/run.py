@@ -1,0 +1,282 @@
+"""Executing scenario specs.
+
+The spec layer's verbs:
+
+* :func:`build_machine` — the :class:`~repro.machine.Machine` a spec
+  describes (shape + variant + seed), with no kernels loaded;
+* :func:`run_scenario` — one spec to one :class:`ScenarioResult`;
+* :func:`run_scenarios` — many independent specs, sharded across a
+  worker pool exactly like the figure sweeps (deterministic: results
+  are identical for any ``jobs`` value) and memoized in a
+  :class:`~repro.eval.runner.ResultCache` keyed by
+  :meth:`~repro.scenarios.spec.ScenarioSpec.stable_hash`;
+* :func:`sweep` — the cartesian product of axis overrides applied to a
+  base spec (the engine behind ``repro sweep``).
+
+``METRICS`` names the stat extractors a spec may request in its
+``metrics`` field; workloads attach their own extras on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..engine.errors import ConfigError
+from ..machine import Machine
+from ..power.energy import EnergyModel
+from .registry import get_workload
+from .spec import ScenarioSpec
+
+#: Metric name -> extractor over a finished run's SimStats.  These are
+#: the scalars a spec can ask for by name in ``ScenarioSpec.metrics``.
+METRICS = {
+    "cycles": lambda stats: stats.cycles,
+    "throughput": lambda stats: stats.throughput,
+    "messages": lambda stats: stats.network.total_messages,
+    "hops": lambda stats: stats.network.hops,
+    "ingress_wait_cycles": lambda stats: stats.network.ingress_wait_cycles,
+    "ops": lambda stats: sum(c.ops_completed for c in stats.cores),
+    "sc_failures": lambda stats: stats.total_sc_failures,
+    "wait_rejections": lambda stats: sum(c.wait_rejections
+                                         for c in stats.cores),
+    "sleep_cycles": lambda stats: stats.total_sleep_cycles,
+    "active_cycles": lambda stats: stats.total_active_cycles,
+    "energy_pj_per_op": lambda stats: EnergyModel().evaluate(stats).pj_per_op,
+    "power_mw": lambda stats: EnergyModel().evaluate(stats).power_mw(),
+}
+
+#: Spec-level keys (and CLI aliases) recognized by ``apply_settings``;
+#: anything else routes to the workload's params.
+_SPEC_FIELD_ALIASES = {
+    "cores": "num_cores",
+    "num_cores": "num_cores",
+    "cores_per_tile": "cores_per_tile",
+    "banks_per_tile": "banks_per_tile",
+    "words_per_bank": "words_per_bank",
+    "num_groups": "num_groups",
+    "variant": "variant",
+    "mode": "mode",
+    "horizon": "horizon",
+    "seed": "seed",
+    "metrics": "metrics",
+}
+
+
+@dataclass
+class ScenarioResult:
+    """One executed scenario point.
+
+    ``point`` carries the workload's native result object when it has
+    one (:class:`~repro.eval.points.HistogramPoint`,
+    :class:`~repro.eval.points.QueuePoint`, ...), which is how the
+    figure runners stay bit-identical to their pre-spec selves.
+    ``stats`` is the full counter set for diagnostics; it is ``None``
+    for composite workloads that run several machines *and on results
+    served from a cache* — the per-core/per-bank lists dwarf the
+    scalars the runners actually consume, so only ``point``/``metrics``
+    persist (see :func:`run_scenarios`).
+    """
+
+    spec: ScenarioSpec
+    cycles: int
+    throughput: float
+    messages: int
+    active_cycles: int
+    sleep_cycles: int
+    metrics: dict = field(default_factory=dict)
+    point: object = None
+    stats: object = None
+
+    def scalars(self) -> dict:
+        """Headline numbers + extras, for tables and JSON output."""
+        merged = {
+            "cycles": self.cycles,
+            "throughput": self.throughput,
+            "messages": self.messages,
+            "active_cycles": self.active_cycles,
+            "sleep_cycles": self.sleep_cycles,
+        }
+        merged.update(self.metrics)
+        return merged
+
+
+def build_machine(spec: ScenarioSpec, **machine_kwargs) -> Machine:
+    """The machine a spec describes (no kernels loaded yet)."""
+    return Machine(spec.system_config(), spec.variant_spec(),
+                   seed=spec.seed, **machine_kwargs)
+
+
+def execute(workload, spec: ScenarioSpec) -> ScenarioResult:
+    """The standard run template shared by every non-composite workload."""
+    machine = build_machine(spec)
+    loaded = workload.load(machine, spec)
+    if spec.mode == "completion":
+        stats = machine.run()
+    elif spec.mode == "horizon":
+        stats = machine.run_for(spec.horizon)
+    else:  # watched
+        if loaded.watched is None:
+            raise ConfigError(
+                f"workload {spec.workload!r} provides no watched cores; "
+                f"mode='watched' is not available for it")
+        stats = machine.run_until_finished(loaded.watched)
+    if spec.mode == "completion" and loaded.verify is not None:
+        loaded.verify()
+    point, extra = (loaded.finish(stats) if loaded.finish is not None
+                    else (None, {}))
+    metrics = dict(extra)
+    for name in spec.metrics:
+        metrics[name] = METRICS[name](stats)
+    return ScenarioResult(
+        spec=spec,
+        cycles=stats.cycles,
+        throughput=stats.throughput,
+        messages=stats.network.total_messages,
+        active_cycles=stats.total_active_cycles,
+        sleep_cycles=stats.total_sleep_cycles,
+        metrics=metrics,
+        point=point,
+        stats=stats)
+
+
+def _execute_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Module-level entry for pool workers (picklable by name)."""
+    return get_workload(spec.workload).run(spec)
+
+
+def _cache_key(spec: ScenarioSpec) -> str:
+    return "scenario\x1f" + spec.stable_hash()
+
+
+def run_scenario(spec: ScenarioSpec, jobs: int = 1,
+                 cache=None) -> ScenarioResult:
+    """Run one spec; ``jobs`` is accepted for interface symmetry with
+    :func:`run_scenarios` (a single point always runs in-process)."""
+    return run_scenarios([spec], jobs=jobs, cache=cache)[0]
+
+
+def run_scenarios(specs: Sequence[ScenarioSpec], jobs: int = 1,
+                  cache=None) -> list:
+    """Run independent specs, in order, optionally sharded and cached.
+
+    Results come back aligned with ``specs`` and are identical for any
+    ``jobs`` value (each scenario is a pure function of its spec).
+    ``cache`` is a :class:`~repro.eval.runner.ResultCache`; entries are
+    keyed by :meth:`ScenarioSpec.stable_hash` (plus the cache's source
+    fingerprint), so editing a spec re-simulates exactly that point.
+
+    With ``jobs > 1`` the worker processes re-import the registry, so
+    only *importable* workloads resolve there: built-ins always do;
+    workloads registered ad hoc in the driving process (e.g. inside a
+    script's ``main``) must run with ``jobs=1``.
+
+    Cached entries are stored without ``stats`` (the bulky diagnostic
+    counters); every other field of a cache-served result is identical
+    to the freshly-simulated one.
+    """
+    from ..eval.runner import ExperimentCall, run_experiments
+    specs = list(specs)
+    for spec in specs:
+        spec.validate()
+    miss = object()
+    results: list = [None] * len(specs)
+    pending = []
+    if cache is not None:
+        for index, spec in enumerate(specs):
+            hit = cache.lookup_hash(_cache_key(spec), miss)
+            if hit is miss:
+                pending.append((index, spec))
+            else:
+                results[index] = hit
+    else:
+        pending = list(enumerate(specs))
+    if not pending:
+        return results
+    calls = [ExperimentCall(_execute_spec, (spec,))
+             for _index, spec in pending]
+    computed = run_experiments(calls, jobs=jobs)
+    for (index, spec), result in zip(pending, computed):
+        results[index] = result
+        if cache is not None:
+            cache.store_hash(_cache_key(spec),
+                             dataclasses.replace(result, stats=None))
+    return results
+
+
+def run_spec_grid(rows: Sequence[tuple], columns: Sequence,
+                  make_spec: Callable, jobs: int = 1,
+                  cache=None) -> dict:
+    """Run a labelled grid of specs; returns ``{label: [result/column]}``.
+
+    ``rows`` is ``[(label, row_spec), ...]`` and ``make_spec(row_spec,
+    column)`` builds the :class:`ScenarioSpec` for one point — the
+    spec-level analogue of :func:`repro.eval.runner.run_grid`, shared
+    by the figure sweeps so the label/column bookkeeping lives once.
+    """
+    rows = list(rows)
+    columns = list(columns)
+    specs = [make_spec(row_spec, column)
+             for _label, row_spec in rows for column in columns]
+    results = run_scenarios(specs, jobs=jobs, cache=cache)
+    grid: dict = {}
+    for index, (label, _row_spec) in enumerate(rows):
+        start = index * len(columns)
+        grid[label] = results[start:start + len(columns)]
+    return grid
+
+
+def default_spec(workload_name: str, **overrides) -> ScenarioSpec:
+    """The registered workload's default spec, plus field overrides."""
+    workload = get_workload(workload_name)
+    fields = dict(workload.spec_defaults)
+    fields.update(overrides)
+    return ScenarioSpec(workload=workload_name, **fields)
+
+
+def apply_settings(spec: ScenarioSpec, settings: dict) -> ScenarioSpec:
+    """Layer ``key=value`` overrides onto a spec.
+
+    Keys naming spec fields (``cores``/``num_cores``, ``variant``,
+    ``seed``, ``mode``, ``horizon``, shape fields, ``metrics``) update
+    the spec; every other key becomes a workload parameter override —
+    unknown parameters are rejected when the spec validates.
+    """
+    spec_updates = {}
+    params = {}
+    for key, value in settings.items():
+        target = _SPEC_FIELD_ALIASES.get(key)
+        if target == "metrics" and isinstance(value, str):
+            value = tuple(name.strip() for name in value.split(",")
+                          if name.strip())
+        if target is not None:
+            spec_updates[target] = value
+        else:
+            params[key] = value
+    if spec_updates:
+        # replace(), not override(): an explicit ``field=none`` setting
+        # must reset optional fields rather than be silently dropped.
+        spec = dataclasses.replace(spec, **spec_updates)
+    if params:
+        spec = spec.with_params(**params)
+    return spec
+
+
+def sweep(base: ScenarioSpec, axes: dict, jobs: int = 1,
+          cache=None) -> list:
+    """Cartesian sweep over axis overrides; ``[(overrides, result)]``.
+
+    ``axes`` maps setting keys (spec fields or workload params, as in
+    :func:`apply_settings`) to value lists.  Points run through
+    :func:`run_scenarios`, so they shard and cache like any sweep.
+    """
+    if not axes:
+        raise ConfigError("sweep needs at least one axis")
+    keys = list(axes)
+    combos = [dict(zip(keys, values))
+              for values in itertools.product(*(axes[k] for k in keys))]
+    specs = [apply_settings(base, combo) for combo in combos]
+    results = run_scenarios(specs, jobs=jobs, cache=cache)
+    return list(zip(combos, results))

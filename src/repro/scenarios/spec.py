@@ -1,0 +1,335 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` is the complete, serializable description of
+one simulated experiment point: the system shape, the atomic-unit
+variant, a registered workload with its parameters, the run mode, and
+the seed.  A spec alone reproduces a measurement — it round-trips
+through ``to_dict``/``from_dict`` (e.g. to JSON on disk, a CLI
+invocation, or a remote worker) and :meth:`ScenarioSpec.stable_hash`
+gives a process-independent identity used as the result-cache key.
+
+Variants are encoded as short strings so the whole spec stays plain
+data::
+
+    "amo" | "lrsc" | "lrsc_table" | "lrsc_bank"
+    "colibri"          # 4 tracked addresses (the paper's default)
+    "colibri:8"        # 8 tracked addresses
+    "lrscwait:1"       # bounded reservation queue, 1 slot
+    "lrscwait:half"    # num_cores // 2 slots (the paper's 128@256)
+    "lrscwait:ideal"   # one slot per core
+
+:func:`parse_variant` materializes the string for a concrete system
+size (``half`` depends on ``num_cores``); :func:`variant_string` is the
+inverse used by the spec factories that wrap the pre-existing
+figure/table runners.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.config import LatencyConfig, SystemConfig
+from ..engine.errors import ConfigError
+from ..memory.variants import VariantSpec
+
+#: Run modes: run every kernel to completion, freeze at a cycle
+#: horizon, or stop when the workload's *watched* cores finish.
+RUN_MODES = ("completion", "horizon", "watched")
+
+
+def _freeze_value(value, where: str):
+    """Validate and freeze one parameter value (lists become tuples)."""
+    if isinstance(value, bool) or value is None or \
+            isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item, where) for item in value)
+    raise ConfigError(
+        f"{where} values must be JSON-able scalars or lists, "
+        f"got {type(value).__name__}: {value!r}")
+
+
+def _freeze_mapping(value, where: str) -> tuple:
+    """Normalize a dict (or pair-tuple) field to a sorted pair tuple."""
+    if isinstance(value, tuple):
+        value = dict(value)
+    if not isinstance(value, dict):
+        raise ConfigError(f"{where} must be a mapping, got {value!r}")
+    for key in value:
+        if not isinstance(key, str):
+            raise ConfigError(f"{where} keys must be strings, got {key!r}")
+    return tuple(sorted(
+        (key, _freeze_value(val, f"{where}[{key!r}]"))
+        for key, val in value.items()))
+
+
+def _thaw(value):
+    """Tuples back to lists for JSON rendering."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+def parse_variant(text: str, num_cores: int) -> VariantSpec:
+    """Materialize a variant string for a system of ``num_cores``."""
+    if not isinstance(text, str) or not text:
+        raise ConfigError(f"variant must be a non-empty string, got {text!r}")
+    name, sep, arg = text.replace("-", "_").partition(":")
+    if name == "ideal" and not sep:          # CLI-friendly alias
+        name, arg = "lrscwait", "ideal"
+    if name in ("amo", "lrsc", "lrsc_table", "lrsc_bank"):
+        if arg:
+            raise ConfigError(f"variant {name!r} takes no argument: {text!r}")
+        return VariantSpec(kind=name)
+    if name == "colibri":
+        if not arg:
+            return VariantSpec.colibri()
+        return VariantSpec.colibri(num_addresses=_variant_int(text, arg))
+    if name == "lrscwait":
+        if arg == "ideal":
+            return VariantSpec.lrscwait_ideal()
+        if arg == "half":
+            return VariantSpec.lrscwait(max(1, num_cores // 2))
+        if arg:
+            return VariantSpec.lrscwait(_variant_int(text, arg))
+        raise ConfigError(
+            f"variant 'lrscwait' needs ':<slots>', ':half' or ':ideal', "
+            f"got {text!r}")
+    raise ConfigError(
+        f"unknown variant {text!r}; expected one of amo, lrsc, lrsc_table, "
+        f"lrsc_bank, colibri[:addrs], lrscwait:<slots|half|ideal>")
+
+
+def _variant_int(text: str, arg: str) -> int:
+    try:
+        value = int(arg)
+    except ValueError:
+        raise ConfigError(f"variant argument must be an int: {text!r}")
+    return value
+
+
+def variant_string(variant: VariantSpec) -> str:
+    """The canonical spec string for a materialized variant.
+
+    ``lrscwait`` slot counts are encoded literally, so a variant made
+    from ``"lrscwait:half"`` stringifies to its concrete slot count —
+    the spec records what actually ran.
+    """
+    if variant.kind == "lrscwait":
+        if variant.queue_slots is None:
+            return "lrscwait:ideal"
+        return f"lrscwait:{variant.queue_slots}"
+    if variant.kind == "colibri" and variant.num_addresses != 4:
+        return f"colibri:{variant.num_addresses}"
+    return variant.kind
+
+
+def shape_from_config(config: SystemConfig) -> dict:
+    """Spec shape fields equivalent to an existing :class:`SystemConfig`.
+
+    Used by the legacy entry points that accept a config object
+    (``run_interference``) to become spec factories without changing
+    their signatures.
+    """
+    defaults = LatencyConfig()
+    latency = {
+        field.name: getattr(config.latency, field.name)
+        for field in dataclasses.fields(LatencyConfig)
+        if getattr(config.latency, field.name) != getattr(defaults,
+                                                          field.name)
+    }
+    return {
+        "num_cores": config.num_cores,
+        "cores_per_tile": config.cores_per_tile,
+        "banks_per_tile": config.banks_per_tile,
+        "words_per_bank": config.words_per_bank,
+        "num_groups": config.num_groups,
+        "latency": latency,
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described experiment point.
+
+    ``params`` and ``latency`` accept plain dicts at construction and
+    are frozen to sorted ``(key, value)`` tuples, so specs are
+    hashable, comparable and deterministic to serialize.  ``params``
+    holds only the *overrides* over the workload's defaults — two specs
+    that spell the same defaults differently still hash differently,
+    which keeps the hash a pure function of the spec's content.
+    """
+
+    workload: str
+    num_cores: int = 32
+    #: ``None`` = the scaled-MemPool default (4 cores / 16 banks).
+    cores_per_tile: Optional[int] = None
+    banks_per_tile: Optional[int] = None
+    words_per_bank: int = 256
+    #: ``None`` = auto (4 groups when the tile count allows, else 1).
+    num_groups: Optional[int] = None
+    #: Latency overrides over :class:`LatencyConfig` defaults.
+    latency: tuple = ()
+    variant: str = "colibri"
+    #: Workload parameter overrides (see ``repro list`` for defaults).
+    params: tuple = ()
+    mode: str = "completion"
+    #: Cycle budget, required iff ``mode == "horizon"``.
+    horizon: Optional[int] = None
+    seed: int = 0
+    #: Extra stat metrics to attach to the result (see run.METRICS).
+    metrics: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.workload or not isinstance(self.workload, str):
+            raise ConfigError(
+                f"workload must be a non-empty string, got {self.workload!r}")
+        for name in ("num_cores", "words_per_bank", "seed"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError(
+                    f"{name} must be an int, got {value!r}")
+        object.__setattr__(self, "params",
+                           _freeze_mapping(self.params, "params"))
+        object.__setattr__(self, "latency",
+                           _freeze_mapping(self.latency, "latency"))
+        metrics = self.metrics
+        if isinstance(metrics, str):
+            metrics = (metrics,)
+        object.__setattr__(self, "metrics", tuple(metrics))
+        if self.mode not in RUN_MODES:
+            raise ConfigError(
+                f"mode must be one of {RUN_MODES}, got {self.mode!r}")
+        if self.mode == "horizon":
+            if not isinstance(self.horizon, int) or self.horizon < 1:
+                raise ConfigError(
+                    "mode='horizon' needs a positive integer horizon, "
+                    f"got {self.horizon!r}")
+
+    # -- parameter access -----------------------------------------------------
+
+    def params_dict(self) -> dict:
+        """The parameter overrides as a plain dict."""
+        return dict(self.params)
+
+    def with_params(self, **updates) -> "ScenarioSpec":
+        """Copy with some workload parameters replaced/added."""
+        merged = self.params_dict()
+        merged.update(updates)
+        return dataclasses.replace(self, params=merged)
+
+    def override(self, **fields) -> "ScenarioSpec":
+        """Copy with some spec-level fields replaced (``None`` skipped).
+
+        Convenience for CLI-style flag layering: ``spec.override(
+        num_cores=args.cores, seed=args.seed)`` leaves unset flags
+        alone.  To *set* an optional field back to ``None`` (e.g.
+        ``cores_per_tile``), use :func:`dataclasses.replace` — which is
+        what ``--set field=none`` does via ``apply_settings``.
+        """
+        updates = {key: value for key, value in fields.items()
+                   if value is not None}
+        return dataclasses.replace(self, **updates) if updates else self
+
+    # -- materialization ------------------------------------------------------
+
+    def system_config(self) -> SystemConfig:
+        """Build the :class:`SystemConfig` this spec describes."""
+        if self.num_groups is None:
+            config = SystemConfig.scaled(
+                self.num_cores, words_per_bank=self.words_per_bank,
+                cores_per_tile=self.cores_per_tile,
+                banks_per_tile=self.banks_per_tile)
+        else:
+            config = SystemConfig(
+                num_cores=self.num_cores,
+                cores_per_tile=self.cores_per_tile or 4,
+                banks_per_tile=self.banks_per_tile or 16,
+                num_groups=self.num_groups,
+                words_per_bank=self.words_per_bank)
+            config.validate()
+        if self.latency:
+            config = config.with_latency(**dict(self.latency))
+            config.validate()
+        return config
+
+    def variant_spec(self) -> VariantSpec:
+        """Materialize the variant string for this spec's system size."""
+        return parse_variant(self.variant, self.num_cores)
+
+    def validate(self) -> None:
+        """Full consistency check: shape, variant, workload and params.
+
+        Raises :class:`ConfigError` (or its
+        :class:`~repro.scenarios.registry.UnknownWorkloadError`
+        subclass) naming what is wrong.
+        """
+        self.system_config()
+        self.variant_spec()
+        from .registry import get_workload        # late: avoid cycle
+        workload = get_workload(self.workload)
+        workload.resolve_params(self)
+        from .run import METRICS                  # late: avoid cycle
+        unknown = [name for name in self.metrics if name not in METRICS]
+        if unknown:
+            raise ConfigError(
+                f"unknown metrics {unknown} for scenario "
+                f"{self.workload!r}; known: {sorted(METRICS)}")
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data rendering (JSON-able, ``from_dict`` inverse)."""
+        return {
+            "workload": self.workload,
+            "num_cores": self.num_cores,
+            "cores_per_tile": self.cores_per_tile,
+            "banks_per_tile": self.banks_per_tile,
+            "words_per_bank": self.words_per_bank,
+            "num_groups": self.num_groups,
+            "latency": {key: value for key, value in self.latency},
+            "variant": self.variant,
+            "params": {key: _thaw(value) for key, value in self.params},
+            "mode": self.mode,
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "metrics": list(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"spec data must be a dict, got {data!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown spec fields {unknown}; known: {sorted(known)}")
+        if "workload" not in data:
+            raise ConfigError("spec data needs a 'workload' field")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def stable_hash(self) -> str:
+        """SHA-256 over the canonical JSON — identical across processes
+        and machines for equal specs; the scenario result-cache key."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One-line human summary used by the CLI."""
+        parts = [f"{self.workload}", f"{self.num_cores} cores",
+                 self.variant, f"seed {self.seed}"]
+        if self.mode != "completion":
+            parts.append(self.mode)
+        if self.params:
+            parts.append(", ".join(f"{k}={v}" for k, v in self.params))
+        return " | ".join(parts)

@@ -63,15 +63,16 @@ class InterferenceResult:
         return self.baseline_cycles / self.interfered_cycles
 
 
-def run_interference(config: SystemConfig, variant: VariantSpec,
-                     method: str, num_workers: int, num_bins: int,
-                     matmul_dim: int = 16, seed: int = 0
-                     ) -> InterferenceResult:
-    """Measure matmul slowdown under atomic interference.
+def measure_interference(config: SystemConfig, variant: VariantSpec,
+                         method: str, num_workers: int, num_bins: int,
+                         matmul_dim: int = 16, seed: int = 0) -> tuple:
+    """The paired measurement: ``(InterferenceResult, interfered stats)``.
 
     ``method`` is the pollers' RMW flavour (``"amo"``, ``"lrsc"``,
     ``"wait"``); workers always run the same matmul.  The poller count
-    is ``num_cores - num_workers``.
+    is ``num_cores - num_workers``.  This is the execution engine
+    behind the ``interference`` scenario; library callers use
+    :func:`run_interference` (spec-routed, cacheable) instead.
     """
     num_pollers = config.num_cores - num_workers
     if num_pollers < 0:
@@ -84,7 +85,7 @@ def run_interference(config: SystemConfig, variant: VariantSpec,
                             config.num_cores))
     poller_ids = list(range(config.num_cores - num_workers))
 
-    def build(load_pollers: bool) -> int:
+    def build(load_pollers: bool) -> tuple:
         machine = Machine(config, variant, seed=seed)
         matmul = Matmul(machine, matmul_dim)
         matmul.fill_inputs()
@@ -99,13 +100,33 @@ def run_interference(config: SystemConfig, variant: VariantSpec,
                 machine.load(core_id,
                              lambda api: endless_histogram_kernel(
                                  histogram, api, method))
-        machine.run_until_finished(worker_ids)
+        stats = machine.run_until_finished(worker_ids)
         finish = max(machine.cores[i].finish_cycle for i in worker_ids)
-        return finish
+        return finish, stats
 
-    baseline = build(load_pollers=False)
-    interfered = build(load_pollers=True)
-    return InterferenceResult(
+    baseline, _baseline_stats = build(load_pollers=False)
+    interfered, stats = build(load_pollers=True)
+    result = InterferenceResult(
         num_pollers=num_pollers, num_workers=num_workers,
         num_bins=num_bins, method=method,
         baseline_cycles=baseline, interfered_cycles=interfered)
+    return result, stats
+
+
+def run_interference(config: SystemConfig, variant: VariantSpec,
+                     method: str, num_workers: int, num_bins: int,
+                     matmul_dim: int = 16, seed: int = 0
+                     ) -> InterferenceResult:
+    """Measure matmul slowdown under atomic interference.
+
+    A thin spec factory: the arguments become an ``interference``
+    :class:`~repro.scenarios.spec.ScenarioSpec` and run through
+    :func:`~repro.scenarios.run.run_scenario`, so results are
+    cache/shard-compatible with every other scenario.  The signature
+    (and the returned :class:`InterferenceResult`) is unchanged from
+    the pre-spec API.
+    """
+    from ..scenarios import interference_spec, run_scenario
+    spec = interference_spec(config, variant, method, num_workers,
+                             num_bins, matmul_dim=matmul_dim, seed=seed)
+    return run_scenario(spec).point

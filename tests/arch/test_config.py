@@ -33,6 +33,45 @@ def test_scaled_rejects_non_multiple_of_tile():
         SystemConfig.scaled(6)
 
 
+def test_scaled_error_names_offending_field():
+    with pytest.raises(ConfigError, match="cores_per_tile"):
+        SystemConfig.scaled(6)
+    with pytest.raises(ConfigError, match="cores_per_tile=4"):
+        SystemConfig.scaled(10, cores_per_tile=4)
+    with pytest.raises(ConfigError, match="banks_per_tile"):
+        SystemConfig.scaled(8, banks_per_tile=0)
+    with pytest.raises(ConfigError, match="num_cores=0"):
+        SystemConfig.scaled(0)
+
+
+def test_scaled_overridable_tile_shape():
+    config = SystemConfig.scaled(6, cores_per_tile=2)
+    assert config.num_tiles == 3
+    assert config.num_groups == 1
+    assert config.banks_per_tile == 16
+    config.validate()
+
+    config = SystemConfig.scaled(12, cores_per_tile=3, banks_per_tile=8)
+    assert config.num_tiles == 4
+    assert config.num_groups == 4
+    assert config.num_banks == 32
+    config.validate()
+
+
+def test_scaled_single_core_tile():
+    config = SystemConfig.scaled(5, cores_per_tile=1)
+    assert config.num_tiles == 5
+    assert config.num_groups == 1
+    config.validate()
+
+
+def test_scaled_defaults_unchanged_by_relaxation():
+    """Explicit default overrides must match the historical shapes."""
+    for cores in (8, 16, 32, 64):
+        assert SystemConfig.scaled(cores) == SystemConfig.scaled(
+            cores, cores_per_tile=4, banks_per_tile=16)
+
+
 def test_validate_rejects_partial_tiles():
     with pytest.raises(ConfigError):
         SystemConfig(num_cores=10, cores_per_tile=4).validate()

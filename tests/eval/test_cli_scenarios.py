@@ -1,0 +1,102 @@
+"""CLI tests for the scenario subcommands: run, list, sweep."""
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import list_workloads
+
+
+def run_cli(capsys, argv, expect_code=0):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == expect_code, captured.out
+    return captured.out
+
+
+def test_list_shows_all_registered_scenarios(capsys):
+    out = run_cli(capsys, ["list"])
+    for name, _workload in list_workloads():
+        assert name in out
+    assert "registered scenarios" in out
+
+
+def test_list_names_is_script_friendly(capsys):
+    out = run_cli(capsys, ["list", "--names"])
+    names = out.strip().splitlines()
+    assert names == sorted(name for name, _w in list_workloads())
+
+
+def test_run_with_set_overrides(capsys):
+    out = run_cli(capsys, ["run", "histogram", "--cores", "8",
+                           "--set", "bins=2", "--set", "updates_per_core=2"])
+    assert "scenario: histogram" in out
+    assert "spec hash" in out
+    assert "throughput" in out
+
+
+def test_run_smoke_every_registered_scenario(capsys):
+    """The CI smoke contract: every registry entry runs via the CLI."""
+    for name, _workload in list_workloads():
+        out = run_cli(capsys, ["run", name, "--smoke"])
+        assert f"scenario: {name}" in out
+
+
+def test_run_show_spec_prints_json(capsys):
+    out = run_cli(capsys, ["run", "histogram", "--smoke", "--show-spec"])
+    assert '"workload":"histogram"' in out
+
+
+def test_run_unknown_scenario_fails_cleanly(capsys):
+    out = run_cli(capsys, ["run", "warp_drive"], expect_code=2)
+    assert "no workload registered" in out
+
+
+def test_run_unknown_param_fails_cleanly(capsys):
+    out = run_cli(capsys, ["run", "histogram", "--set", "bogus=1"],
+                  expect_code=2)
+    assert "bogus" in out
+
+
+def test_run_malformed_set_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "histogram", "--set", "bins"])
+
+
+def test_sweep_single_axis(capsys):
+    out = run_cli(capsys, ["sweep", "histogram", "--cores", "8",
+                           "--set", "updates_per_core=2",
+                           "--axis", "bins=1,4"])
+    assert "sweep: histogram" in out
+    assert "bins" in out and "throughput" in out
+    # one row per axis value
+    assert len([line for line in out.splitlines()
+                if line.strip() and line.strip()[0].isdigit()]) == 2
+
+
+def test_sweep_cartesian_axes(capsys):
+    out = run_cli(capsys, ["sweep", "histogram", "--cores", "8",
+                           "--set", "updates_per_core=2",
+                           "--axis", "bins=1,2", "--axis", "seed=0,1"])
+    rows = [line for line in out.splitlines()
+            if line.strip() and line.strip()[0].isdigit()]
+    assert len(rows) == 4
+
+
+def test_sweep_with_cache(capsys, tmp_path):
+    argv = ["sweep", "histogram", "--cores", "8",
+            "--set", "updates_per_core=2", "--axis", "bins=1,2",
+            "--cache-dir", str(tmp_path)]
+    first = run_cli(capsys, argv)
+    second = run_cli(capsys, argv)
+    assert first == second
+
+
+def test_sweep_requires_axis():
+    with pytest.raises(SystemExit):
+        main(["sweep", "histogram"])
+
+
+def test_run_variant_flag_uses_spec_grammar(capsys):
+    out = run_cli(capsys, ["run", "histogram", "--smoke",
+                           "--variant", "lrscwait:half"])
+    assert "lrscwait:half" in out

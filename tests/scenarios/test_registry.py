@@ -1,0 +1,101 @@
+"""Workload registry: registration, lookup, parameter validation."""
+
+import pytest
+
+from repro.engine.errors import ConfigError
+from repro.scenarios import (
+    LoadedWorkload,
+    ScenarioSpec,
+    UnknownWorkloadError,
+    Workload,
+    default_spec,
+    get_workload,
+    list_workloads,
+    register_workload,
+    run_scenario,
+    unregister_workload,
+)
+
+#: The registry contract the CLI and CI smoke rely on.
+PAPER_WORKLOADS = {"histogram", "queue", "interference", "matmul"}
+NEW_WORKLOADS = {"histogram_zipf", "pipeline", "barrier_storm"}
+
+
+def test_builtins_registered():
+    names = {name for name, _workload in list_workloads()}
+    assert PAPER_WORKLOADS <= names
+    assert NEW_WORKLOADS <= names
+    assert len(names) >= 7
+
+
+def test_builtins_have_descriptions_and_smoke_params():
+    for name, workload in list_workloads():
+        assert workload.description, name
+        assert isinstance(workload.params, dict), name
+        # every workload must come up from its defaults + smoke overrides
+        assert isinstance(workload.smoke, dict), name
+
+
+def test_unknown_workload_error_lists_known():
+    with pytest.raises(UnknownWorkloadError, match="histogram"):
+        get_workload("warp_drive")
+
+
+def test_unknown_workload_is_config_error():
+    with pytest.raises(ConfigError):
+        ScenarioSpec(workload="warp_drive").validate()
+
+
+def test_unknown_param_rejected_with_accepted_list():
+    spec = default_spec("histogram").with_params(bogus_knob=3)
+    with pytest.raises(ConfigError, match="bogus_knob"):
+        spec.validate()
+    with pytest.raises(ConfigError, match="updates_per_core"):
+        spec.validate()
+
+
+def test_unknown_param_rejected_at_run_time():
+    spec = default_spec("queue").with_params(nope=1)
+    with pytest.raises(ConfigError, match="nope"):
+        run_scenario(spec)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+        @register_workload("histogram")
+        class Shadow(Workload):
+            pass
+
+
+def test_user_registration_and_replace():
+    @register_workload("test_noop")
+    class NoopWorkload(Workload):
+        description = "does nothing"
+        params = {"spins": 1}
+
+        def load(self, machine, spec):
+            p = self.resolve_params(spec)
+
+            def kernel(api):
+                for _ in range(p["spins"]):
+                    yield from api.compute(1)
+                    yield from api.retire()
+
+            machine.load_all(kernel)
+            return LoadedWorkload()
+
+    try:
+        result = run_scenario(default_spec("test_noop",
+                                           num_cores=4, variant="amo"))
+        assert result.cycles > 0
+
+        # replace=True shadows deliberately; without it, it raises.
+        @register_workload("test_noop", replace=True)
+        class NoopWorkload2(NoopWorkload):
+            description = "still nothing"
+
+        assert get_workload("test_noop").description == "still nothing"
+    finally:
+        unregister_workload("test_noop")
+    with pytest.raises(UnknownWorkloadError):
+        get_workload("test_noop")

@@ -1,0 +1,118 @@
+"""Behaviour of the built-in (and especially the new) workloads."""
+
+import pytest
+
+from repro.engine.errors import ConfigError
+from repro.scenarios import apply_settings, default_spec, get_workload, \
+    run_scenario
+
+
+def smoke_spec(name):
+    workload = get_workload(name)
+    return apply_settings(default_spec(name), dict(workload.smoke))
+
+
+@pytest.mark.parametrize("name", [
+    "histogram", "histogram_zipf", "queue", "matmul", "interference",
+    "pipeline", "barrier_storm",
+])
+def test_every_registered_scenario_smokes(name):
+    """What the CI smoke job runs: every registry entry must build a
+    machine and complete its tiny spec."""
+    result = run_scenario(smoke_spec(name))
+    assert result.cycles > 0
+
+
+def test_zipf_histogram_concentrates_on_hot_bins():
+    even = run_scenario(default_spec("histogram_zipf", num_cores=16)
+                        .with_params(bins=32, exponent=0.0,
+                                     updates_per_core=16))
+    skewed = run_scenario(default_spec("histogram_zipf", num_cores=16)
+                          .with_params(bins=32, exponent=2.5,
+                                       updates_per_core=16))
+    assert skewed.metrics["hot_bin_share"] > even.metrics["hot_bin_share"]
+
+
+def test_zipf_histogram_rejects_lock_method():
+    spec = default_spec("histogram_zipf").with_params(method="lock")
+    with pytest.raises(ConfigError, match="lock"):
+        run_scenario(spec)
+
+
+def test_zipf_histogram_deterministic_per_seed():
+    spec = default_spec("histogram_zipf", num_cores=8).with_params(
+        bins=8, updates_per_core=4)
+    a = run_scenario(spec)
+    b = run_scenario(spec)
+    assert a.cycles == b.cycles
+    assert a.metrics == b.metrics
+
+
+def test_pipeline_runs_on_odd_tile_shape():
+    result = run_scenario(default_spec("pipeline"))
+    assert result.spec.num_cores == 6
+    assert result.spec.cores_per_tile == 2
+    assert result.metrics["items_delivered"] == 8
+    assert result.metrics["stages"] == 6
+
+
+def test_pipeline_mwait_sleeps_polling_does_not():
+    sleeping = run_scenario(default_spec("pipeline"))
+    polling = run_scenario(default_spec("pipeline")
+                           .with_params(use_mwait=False))
+    assert sleeping.sleep_cycles > 0
+    assert polling.sleep_cycles == 0
+
+
+def test_pipeline_needs_two_stages():
+    spec = default_spec("pipeline").override(num_cores=1,
+                                             cores_per_tile=1)
+    with pytest.raises(ConfigError, match="num_cores >= 2"):
+        run_scenario(spec)
+
+
+def test_barrier_storm_runs_on_odd_tile_shape():
+    result = run_scenario(default_spec("barrier_storm"))
+    assert result.spec.num_cores == 12
+    assert result.spec.cores_per_tile == 3
+    assert result.metrics["rounds"] == 5
+
+
+def test_barrier_storm_polling_fallback_on_amo():
+    result = run_scenario(default_spec("barrier_storm")
+                          .override(variant="amo")
+                          .with_params(rounds=2))
+    assert result.cycles > 0
+    assert result.sleep_cycles == 0  # amo hardware cannot sleep
+
+
+def test_histogram_native_method_follows_variant():
+    amo = run_scenario(default_spec("histogram", num_cores=8,
+                                    variant="amo")
+                       .with_params(bins=2, updates_per_core=2))
+    assert amo.point.label == "AtomicAdd/amo"
+    lrsc = run_scenario(default_spec("histogram", num_cores=8,
+                                     variant="lrsc")
+                        .with_params(bins=2, updates_per_core=2))
+    assert lrsc.point.label == "LRSC/lrsc"
+
+
+def test_queue_active_cores_bounded():
+    for bad in (9, 0, -2):
+        spec = default_spec("queue", num_cores=8).with_params(
+            active_cores=bad)
+        with pytest.raises(ConfigError, match="active_cores"):
+            run_scenario(spec)
+
+
+def test_matmul_workers_bounded():
+    for bad in (0, -1, 99):
+        spec = default_spec("matmul", num_cores=8).with_params(workers=bad)
+        with pytest.raises(ConfigError, match="workers"):
+            run_scenario(spec)
+
+
+def test_interference_scenario_reports_ratio():
+    result = run_scenario(smoke_spec("interference"))
+    assert 0 < result.metrics["relative_throughput"] <= 1.0
+    assert result.point.num_pollers == 12

@@ -43,3 +43,35 @@ def test_streams_deterministic():
     a = list(uniform_stream(random.Random(9), 8, 50))
     b = list(uniform_stream(random.Random(9), 8, 50))
     assert a == b
+
+
+def _zipf_reference(rng, num_bins, count, exponent):
+    """Linear-scan CDF sampling — the spec the bisect path must match."""
+    weights = [1.0 / (rank ** exponent) for rank in range(1, num_bins + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cumulative.append(acc / total)
+    for _ in range(count):
+        point = rng.random()
+        for index, edge in enumerate(cumulative):
+            if edge >= point:
+                yield index
+                break
+        else:
+            yield num_bins - 1
+
+
+def test_zipf_bisect_matches_linear_scan():
+    for exponent in (0.0, 0.7, 1.0, 2.5):
+        fast = list(zipf_stream(random.Random(11), 37, 2000,
+                                exponent=exponent))
+        slow = list(_zipf_reference(random.Random(11), 37, 2000,
+                                    exponent=exponent))
+        assert fast == slow
+
+
+def test_zipf_single_bin():
+    assert list(zipf_stream(random.Random(4), 1, 10)) == [0] * 10
