@@ -1,0 +1,102 @@
+"""Telemetry overhead benchmarks.
+
+The PR-3 hook points (core FSM, bank port, interconnect sends, adapter
+queues) sit on the simulator's hot paths guarded by one attribute load
+and one branch each.  These benches pin down both sides of the
+contract:
+
+* probes **disabled** (nothing subscribed) must stay within noise of
+  the ``PR1-fast-path`` baseline recorded in ``BENCH_engine.json`` —
+  the hook points themselves must not tax the kernel;
+* probes **enabled** may cost real time (they observe every access),
+  and the enabled run's report must still reconcile exactly with the
+  aggregate stats counters, benchmarked or not.
+
+The timing assertion only fires when the benchmark actually timed
+(``--benchmark-disable`` CI runs still execute everything once for the
+correctness checks, but skip the noisy comparison — see
+``benchmarks/common.py`` on why CI never compares timings).
+"""
+
+import json
+import os
+
+from repro import Machine, SystemConfig, VariantSpec
+
+from common import report
+
+#: Same-machine noise allowance for the disabled-probes comparison.
+NOISE_FACTOR = 1.35
+
+_BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_engine.json")
+
+
+def _baseline_median(bench_name: str, label: str = "PR1-fast-path") -> float:
+    with open(_BENCH_JSON) as stream:
+        data = json.load(stream)
+    for entry in data["entries"]:
+        if entry["label"] == label:
+            return entry["benchmarks"][bench_name]["median"]
+    raise AssertionError(f"no {label!r} entry in BENCH_engine.json")
+
+
+def _run_histogram(probes=()):
+    """The bench_engine end-to-end workload, optionally probed."""
+    machine = Machine(SystemConfig.scaled(16), VariantSpec.colibri(),
+                      seed=1)
+    if probes:
+        machine.attach_probes(list(probes))
+    counter = machine.allocator.alloc_interleaved(1)
+
+    def kernel(api):
+        for _ in range(8):
+            resp = yield from api.lrwait(counter)
+            yield from api.compute(1)
+            yield from api.scwait(counter, resp.value + 1)
+            yield from api.retire()
+
+    machine.load_all(kernel)
+    machine.run()
+    return machine
+
+
+def test_probes_disabled_within_pr1_noise(benchmark):
+    """Hook points with nothing subscribed: no kernel regression."""
+
+    def run():
+        return _run_histogram().stats.total_ops
+
+    ops = benchmark(run)
+    assert ops == 16 * 8
+    if not benchmark.enabled:
+        return  # --benchmark-disable: correctness-only execution
+    median = benchmark.stats.stats.median
+    baseline = _baseline_median("test_end_to_end_histogram_sim")
+    benchmark.extra_info["pr1_fast_path_median_s"] = baseline
+    benchmark.extra_info["ratio_vs_pr1"] = median / baseline
+    assert median <= baseline * NOISE_FACTOR, (
+        f"probes-disabled end-to-end median {median:.6f}s exceeds "
+        f"PR1-fast-path {baseline:.6f}s x{NOISE_FACTOR} — the telemetry "
+        f"hook points regressed the kernel")
+
+
+def test_probes_enabled_overhead_and_reconciliation(benchmark):
+    """All four probes attached: measured, and counters must agree."""
+    probes = ("bank_contention", "core_timeline", "queue_occupancy",
+              "message_latency")
+
+    def run():
+        return _run_histogram(probes=probes)
+
+    machine = benchmark(run)
+    section = machine.telemetry_report().probes["bank_contention"]
+    for bank in section["banks"]:
+        assert bank["accesses"] == machine.stats.banks[bank["bank"]].accesses
+    latency = machine.telemetry_report().probes["message_latency"]
+    responses = sum(entry["count"]
+                    for entry in latency["round_trip"].values())
+    assert responses == machine.stats.total_requests
+    if benchmark.enabled:
+        report(benchmark, "probes-enabled end-to-end histogram",
+               probed_median_s=benchmark.stats.stats.median)

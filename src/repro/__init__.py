@@ -20,7 +20,11 @@ The package provides:
 * a declarative scenario API (:mod:`repro.scenarios`): serializable
   :class:`~repro.scenarios.spec.ScenarioSpec`\\ s, a workload registry,
   and ``run_scenario``/``sweep`` — the surface behind the
-  ``repro run / list / sweep`` CLI.
+  ``repro run / list / sweep`` CLI;
+* a pluggable telemetry subsystem (:mod:`repro.telemetry`): probes
+  observing the kernel/cores/banks/interconnect through near-zero-cost
+  hooks, cycle-resolved contention heatmaps and core timelines, JSON/
+  CSV/VCD export — the surface behind ``repro trace``.
 """
 
 from .arch.config import LatencyConfig, SystemConfig
@@ -48,8 +52,14 @@ from .scenarios import (
     run_scenario,
     run_scenarios,
 )
+from .telemetry import (
+    Probe,
+    TelemetryReport,
+    list_probes,
+    register_probe,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LatencyConfig",
@@ -75,5 +85,9 @@ __all__ = [
     "register_workload",
     "run_scenario",
     "run_scenarios",
+    "Probe",
+    "TelemetryReport",
+    "list_probes",
+    "register_probe",
     "__version__",
 ]

@@ -5,9 +5,14 @@ diagnostics without writing a kernel:
 
 * ``run`` — execute any registered scenario from a declarative spec
   (``repro run histogram --set bins=4 --cores 16``);
-* ``list`` — the scenario registry with defaults and descriptions;
+* ``list`` — the scenario registry with tunable parameters and their
+  defaults (``--long`` for the full per-workload detail, ``--probes``
+  for the telemetry probe registry);
 * ``sweep`` — a cartesian sweep over spec/param axes
   (``repro sweep histogram --axis bins=1,4,16``);
+* ``trace`` — run a scenario with telemetry probes attached and render
+  or export the diagnostics (``repro trace histogram --probe
+  bank_contention --out report/ --format json``);
 * ``histogram`` / ``queue`` / ``interference`` — the paper's workload
   shortcuts (now thin shims over scenario specs) with the run-summary
   diagnostics;
@@ -160,9 +165,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also print the spec as canonical JSON")
     _add_jobs(runp)
 
-    lst = sub.add_parser("list", help="registered scenarios")
+    lst = sub.add_parser("list", help="registered scenarios and probes")
     lst.add_argument("--names", action="store_true",
                      help="names only, one per line (for scripting)")
+    lst.add_argument("--long", action="store_true",
+                     help="full per-scenario detail: every tunable "
+                          "parameter with its default, spec-level "
+                          "defaults, and smoke overrides")
+    lst.add_argument("--probes", action="store_true",
+                     help="list registered telemetry probes instead "
+                          "(for 'repro trace --probe')")
+
+    trace = sub.add_parser(
+        "trace", help="run one scenario with telemetry probes attached")
+    trace.add_argument("scenario", help="registered workload name "
+                                        "(see 'repro list')")
+    trace.add_argument("--probe", action="append", default=[],
+                       dest="probes", metavar="NAME",
+                       help="telemetry probe to attach (repeatable; "
+                            "default: every registered probe; see "
+                            "'repro list --probes')")
+    trace.add_argument("--set", action="append", default=[],
+                       dest="settings", metavar="KEY=VALUE",
+                       help="spec/param override, as in 'repro run'")
+    trace.add_argument("--cores", type=int, default=None,
+                       help="shorthand for --set cores=N")
+    trace.add_argument("--variant", default=None,
+                       help="variant string, e.g. colibri, lrscwait:half")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--smoke", action="store_true",
+                       help="apply the workload's tiny smoke parameters")
+    trace.add_argument("--window", type=int, default=None,
+                       help="cycle-window width for windowed probes "
+                            "(bank_contention; default 256)")
+    trace.add_argument("--width", type=int, default=64,
+                       help="character width of the ASCII heatmap/"
+                            "timeline rendering")
+    trace.add_argument("--out", default=None, metavar="DIR",
+                       help="export the report into this directory "
+                            "(created if missing)")
+    trace.add_argument("--format", choices=("json", "csv", "vcd"),
+                       default="json",
+                       help="export format for --out: one JSON report, "
+                            "one CSV per probe, or a VCD waveform of "
+                            "the core-state timeline (needs the "
+                            "core_timeline probe)")
 
     swp = sub.add_parser(
         "sweep", help="cartesian sweep of a scenario over axis values")
@@ -264,18 +311,49 @@ def cmd_run(args) -> str:
 
 
 def cmd_list(args) -> str:
+    from .telemetry import list_probes
+    if args.probes:
+        rows = [(name, cls.description) for name, cls in list_probes()]
+        return render_table(["probe", "description"], rows,
+                            title=f"{len(rows)} registered telemetry probes "
+                                  f"(attach: repro trace <scenario> "
+                                  f"--probe <name>)")
     entries = list_workloads()
     if args.names:
         return "\n".join(name for name, _workload in entries)
+    if args.long:
+        blocks = []
+        for name, workload in entries:
+            lines = [f"{name} — {workload.description}"]
+            lines.append("  parameters (override with --set key=value):")
+            if workload.params:
+                for key, value in sorted(workload.params.items()):
+                    lines.append(f"    {key} = {value!r}")
+            else:
+                lines.append("    (none)")
+            if workload.spec_defaults:
+                defaults = ", ".join(
+                    f"{key}={value}" for key, value
+                    in sorted(workload.spec_defaults.items()))
+                lines.append(f"  spec defaults: {defaults}")
+            if workload.smoke:
+                smoke = ", ".join(f"{key}={value}" for key, value
+                                  in sorted(workload.smoke.items()))
+                lines.append(f"  smoke overrides: {smoke}")
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
     rows = []
     for name, workload in entries:
-        defaults = ", ".join(f"{key}={value}" for key, value
-                             in sorted(workload.params.items()))
-        rows.append((name, workload.description, defaults))
-    return render_table(["scenario", "description", "parameters (defaults)"],
+        params = ", ".join(f"{key}={value}" for key, value
+                           in sorted(workload.params.items()))
+        rows.append((name, workload.description, params or "(none)"))
+    return render_table(["scenario", "description",
+                         "tunable params (defaults)"],
                         rows,
                         title=f"{len(rows)} registered scenarios "
-                              f"(run one: repro run <scenario>)")
+                              f"(run one: repro run <scenario> "
+                              f"[--set param=value]; details: "
+                              f"repro list --long)")
 
 
 def cmd_sweep(args) -> str:
@@ -296,6 +374,66 @@ def cmd_sweep(args) -> str:
     title = (f"sweep: {base.workload} over "
              + " x ".join(f"{key}[{len(axes[key])}]" for key in axis_keys))
     return render_table(headers, rows, title=title)
+
+
+def _make_probes(args) -> list:
+    """Instantiate the requested (or all registered) telemetry probes."""
+    import inspect
+
+    from .telemetry import create_probe, get_probe, list_probes
+    names = args.probes or [name for name, _cls in list_probes()]
+    probes = []
+    for name in names:
+        options = {}
+        if args.window is not None:
+            accepts = inspect.signature(get_probe(name).__init__).parameters
+            if "window" in accepts:
+                options["window"] = args.window
+        probes.append(create_probe(name, **options))
+    return probes
+
+
+def cmd_trace(args) -> str:
+    from .engine.errors import ConfigError
+    from .engine.vcd import write_vcd
+    from .scenarios.run import run_scenario as run_probed
+    spec = _build_spec(args)
+    probes = _make_probes(args)
+    # Export-option problems must surface *before* the (possibly long)
+    # simulation runs, not after.
+    if not args.out and args.format != "json":
+        raise ConfigError(f"--format {args.format} needs --out DIR")
+    if args.format == "vcd" and not any(p.name == "core_timeline"
+                                        for p in probes):
+        raise ConfigError("--format vcd needs the core_timeline probe "
+                          "(add --probe core_timeline)")
+    result = run_probed(spec, probes=probes)
+    report = result.telemetry
+    parts = [report.render(width=args.width)]
+    if args.out:
+        import os
+        os.makedirs(args.out, exist_ok=True)
+        if args.format == "json":
+            written = [report.save_json(
+                os.path.join(args.out, "telemetry.json"))]
+        elif args.format == "csv":
+            written = sorted(report.to_csv(args.out).values())
+        else:  # vcd (core_timeline presence checked pre-run)
+            section = report.probes["core_timeline"]
+            core_states = {core["core"]: [tuple(span)
+                                          for span in core["spans"]]
+                           for core in section["cores"]}
+            path = os.path.join(args.out, "trace.vcd")
+            write_vcd(None, spec.system_config(), path,
+                      core_states=core_states)
+            written = [path]
+        parts.append("exported:\n" + "\n".join(f"  {p}" for p in written))
+    else:
+        # No --out: the JSON report goes to stdout after the rendering,
+        # so `repro trace <scenario>` alone already yields machine-
+        # readable telemetry.
+        parts.append("JSON report:\n" + report.to_json(indent=2))
+    return "\n\n".join(parts)
 
 
 # -- legacy workload shortcuts (spec shims) ------------------------------------
@@ -393,6 +531,7 @@ COMMANDS = {
     "run": cmd_run,
     "list": cmd_list,
     "sweep": cmd_sweep,
+    "trace": cmd_trace,
     "histogram": cmd_histogram,
     "queue": cmd_queue,
     "interference": cmd_interference,

@@ -44,6 +44,9 @@ class Core:
         self.network = network
         self.address_map = address_map
         self.stats = stats
+        # The hub object is stable for the simulator's lifetime, so the
+        # hot paths below can cache it (one load + branch when off).
+        self._telemetry = sim.telemetry
         # The Qnode needs qnode_cycles - 1 extra cycles to process and
         # forward a WakeUpRequest (the first cycle overlaps the event
         # that triggered it, so the default of 1 adds nothing).
@@ -69,7 +72,7 @@ class Core:
         if self._kernel is not None:
             raise KernelError(f"core {self.core_id} already has a kernel")
         self._kernel = kernel
-        self.state = ACTIVE
+        self._set_state(ACTIVE)
 
     def start(self) -> None:
         """Schedule the first instruction at the current cycle."""
@@ -135,13 +138,16 @@ class Core:
         self.finish_cycle = self.sim.now
 
     def _set_state(self, state: str) -> None:
-        """State transition with optional tracing (for VCD export)."""
+        """State transition with tracing/telemetry hooks (VCD, timelines)."""
         if self.state != state:
             self.state = state
             tracer = self.sim.tracer
             if tracer.enabled:
                 tracer.log(self.sim.now, f"core{self.core_id}",
                            "core_state", state)
+            cb = self._telemetry.on_core_state
+            if cb is not None:
+                cb(self.sim.now, self.core_id, state)
 
     # -- memory issue ----------------------------------------------------------------
 
@@ -188,6 +194,9 @@ class Core:
             self.stats.sleep_cycles += waited
         else:
             self.stats.stalled_cycles += waited
+        cb = self._telemetry.on_response
+        if cb is not None:
+            cb(self.sim.now, self.core_id, resp, waited)
         self._outstanding = None
         self._set_state(ACTIVE)
         self._account_status(resp)

@@ -35,14 +35,24 @@ from .trace import Tracer
 class Simulator:
     """Deterministic discrete-event simulator with an integer cycle clock."""
 
-    __slots__ = ("now", "max_cycles", "tracer", "_queue", "_heap",
-                 "_counter", "_blocked_reporters", "_finished")
+    __slots__ = ("now", "max_cycles", "tracer", "telemetry", "_queue",
+                 "_heap", "_counter", "_blocked_reporters", "_finished")
 
     def __init__(self, max_cycles: int = 100_000_000,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.now: int = 0
         self.max_cycles = max_cycles
         self.tracer = tracer or Tracer(enabled=False)
+        if telemetry is None:
+            # Deferred import: at construction time every module is
+            # loaded, so this cannot cycle regardless of the order in
+            # which the engine/telemetry packages import each other.
+            from ..telemetry.hub import Telemetry
+            telemetry = Telemetry()
+        #: Telemetry hook hub shared by every component of this
+        #: simulation; probes subscribe here (see :mod:`repro.telemetry`).
+        self.telemetry = telemetry
         self._queue = EventQueue()
         # Aliases into the queue's internals for the zero-indirection
         # hot path; the queue never reassigns either.

@@ -103,16 +103,25 @@ class VcdWriter:
             self.stream.write(f"#{end_time}\n")
 
 
-def write_vcd(tracer: Tracer, config: SystemConfig, path: str) -> int:
+def write_vcd(tracer: Optional[Tracer], config: SystemConfig, path: str,
+              core_states: Optional[dict] = None) -> int:
     """Convert a trace recording into a VCD file; returns #changes.
 
     Core signals come from ``core_state`` records; bank signals from
     the per-request service records, with an automatic return-to-idle
     one cycle after each service (banks are single-cycle here).
+
+    ``core_states`` merges telemetry core-state timelines in as the
+    same core signals: a mapping ``core_id -> [(state, start, end),
+    ...]`` as produced by the ``core_timeline`` probe (each span opens a
+    change at its start cycle).  With ``tracer=None`` the dump contains
+    only those telemetry signals — the ``repro trace --format vcd``
+    path, which needs no Tracer at all.
     """
     core_records = []
     bank_records = []
-    for record in tracer.records:
+    records = tracer.records if tracer is not None else []
+    for record in records:
         if record.kind == "core_state":
             core_records.append(record)
         elif record.source.startswith("bank"):
@@ -121,6 +130,9 @@ def write_vcd(tracer: Tracer, config: SystemConfig, path: str) -> int:
     changes: list = []  # (time, source, value)
     for record in core_records:
         changes.append((record.cycle, record.source, record.detail))
+    for core_id, spans in sorted((core_states or {}).items()):
+        for state, start, _end in spans:
+            changes.append((start, f"core{core_id}", state))
     for record in bank_records:
         changes.append((record.cycle, record.source, record.kind))
         changes.append((record.cycle + config.latency.bank_cycles,

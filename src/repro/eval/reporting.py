@@ -68,3 +68,88 @@ def render_ratio_line(label: str, numerator: float,
     if denominator == 0:
         return f"{label}: n/a"
     return f"{label}: {numerator / denominator:.2f}x"
+
+
+#: Density ramp for heatmap cells, lightest to darkest.
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def _rebin(values: Sequence, width: int) -> list:
+    """Sum a numeric series into at most ``width`` equal-range buckets."""
+    values = list(values)
+    if len(values) <= width:
+        return values
+    binned = [0] * width
+    for index, value in enumerate(values):
+        binned[index * width // len(values)] += value
+    return binned
+
+
+def render_heatmap(rows: Sequence[Sequence], row_labels: Sequence[str],
+                   width: int = 64, title: Optional[str] = None,
+                   glyphs: str = HEAT_GLYPHS) -> str:
+    """An ASCII intensity grid: one labelled row per series.
+
+    ``rows`` are equal-length numeric series (e.g. per-bank access
+    counts over cycle windows); columns are rebinned down to ``width``
+    and every cell maps its value — normalized by the global maximum —
+    onto the ``glyphs`` density ramp.  This is the terminal rendering
+    of the telemetry bank-contention heatmap.
+    """
+    binned = [_rebin(row, width) for row in rows]
+    peak = max((value for row in binned for value in row), default=0)
+    label_width = max((len(label) for label in row_labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    top = len(glyphs) - 1
+    for label, row in zip(row_labels, binned):
+        if peak:
+            cells = "".join(glyphs[(value * top + peak - 1) // peak]
+                            for value in row)
+        else:
+            cells = glyphs[0] * len(row)
+        lines.append(f"{label:>{label_width}} |{cells}|")
+    lines.append(f"{'':>{label_width}}  scale: ' '=0 "
+                 f"'{glyphs[top]}'={format_value(peak)} (per cell max)")
+    return "\n".join(lines)
+
+
+def render_timeline(lanes: Sequence, end: int, width: int = 64,
+                    glyphs: Optional[dict] = None,
+                    title: Optional[str] = None) -> str:
+    """ASCII state timeline: one labelled lane of glyphs per agent.
+
+    ``lanes`` is ``[(label, spans)]`` with ``spans`` a list of
+    ``(state, start, stop)`` covering ``[0, end)``; each character cell
+    shows the state occupying most of its cycle range, mapped through
+    ``glyphs`` (state name -> single character, '?' for unknown states).
+    """
+    glyphs = glyphs or {}
+    end = max(end, 1)
+    width = min(width, end)
+    label_width = max((len(label) for label, _spans in lanes), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, spans in lanes:
+        occupancy = [{} for _ in range(width)]
+        for state, start, stop in spans:
+            # The floor estimates can be off by one at cell boundaries;
+            # widen the candidate range and let the overlap test decide.
+            first = max(start * width // end - 1, 0)
+            last = min((max(stop, start + 1) - 1) * width // end + 1,
+                       width - 1)
+            for cell in range(first, last + 1):
+                cell_start = cell * end // width
+                cell_stop = (cell + 1) * end // width
+                overlap = min(stop, cell_stop) - max(start, cell_start)
+                if overlap > 0:
+                    bucket = occupancy[cell]
+                    bucket[state] = bucket.get(state, 0) + overlap
+        cells = "".join(
+            glyphs.get(max(bucket, key=bucket.get), "?") if bucket else " "
+            for bucket in occupancy)
+        lines.append(f"{label:>{label_width}} |{cells}|")
+    lines.append(f"{'':>{label_width}}  0 .. {end} cycles")
+    return "\n".join(lines)

@@ -70,6 +70,9 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.stats = stats
+        # Stable hub object: cached for the one-load-one-branch
+        # telemetry gate on every send (see repro.telemetry.hub).
+        self._telemetry = sim.telemetry
         config = topology.config
         #: Shared remote-request ingress, one per tile (see
         #: LatencyConfig.tile_ingress_per_cycle).
@@ -125,6 +128,9 @@ class Network:
         """
         cls, latency, hops = self.topology.route(req.core_id, bank_id)
         self.stats.count_message(req.op.value, hops)
+        cb = self._telemetry.on_message
+        if cb is not None:
+            cb(self.sim.now, req.op.value, cls, latency, hops)
         delivery = self.sim.now + latency
         if cls != "local":
             delivery = self._ingress_slot(bank_id, delivery)
@@ -132,15 +138,21 @@ class Network:
 
     def send_response(self, resp: MemResponse, bank_id: int) -> None:
         """Bank → core: deliver a response after the route latency."""
-        _cls, latency, hops = self.topology.route(resp.core_id, bank_id)
+        cls, latency, hops = self.topology.route(resp.core_id, bank_id)
         self.stats.count_message("resp_" + resp.op.value, hops)
+        cb = self._telemetry.on_message
+        if cb is not None:
+            cb(self.sim.now, "resp_" + resp.op.value, cls, latency, hops)
         self.sim.schedule(latency, self._core_handlers[resp.core_id],
                           arg=resp)
 
     def send_successor_update(self, msg: SuccessorUpdate) -> None:
         """Bank → Qnode: Colibri enqueue-link message."""
-        _cls, latency, hops = self.topology.route(msg.prev_core, msg.bank_id)
+        cls, latency, hops = self.topology.route(msg.prev_core, msg.bank_id)
         self.stats.count_message("successor_update", hops)
+        cb = self._telemetry.on_message
+        if cb is not None:
+            cb(self.sim.now, "successor_update", cls, latency, hops)
         self.sim.schedule(latency, self._qnode_handlers[msg.prev_core],
                           arg=msg)
 
@@ -153,6 +165,9 @@ class Network:
         """
         cls, latency, hops = self.topology.route(msg.from_core, msg.bank_id)
         self.stats.count_message("wakeup_request", hops)
+        cb = self._telemetry.on_message
+        if cb is not None:
+            cb(self.sim.now, "wakeup_request", cls, latency, hops)
         delivery = self.sim.now + latency
         if cls != "local":
             delivery = self._ingress_slot(msg.bank_id, delivery)

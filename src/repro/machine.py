@@ -39,6 +39,8 @@ from .engine.trace import Tracer
 from .interconnect.network import Network
 from .memory.controller import BankController
 from .memory.variants import VariantSpec
+from .telemetry.hub import Telemetry
+from .telemetry.probes import create_probe
 
 #: Type of a kernel factory: gets the core's API, returns the coroutine.
 KernelFactory = Callable[[CoreApi], Generator]
@@ -50,13 +52,20 @@ class Machine:
     def __init__(self, config: SystemConfig, variant: VariantSpec,
                  seed: int = 0, strict: bool = True,
                  max_cycles: int = 100_000_000,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         config.validate()
         self.config = config
         self.variant = variant
         self.seed = seed
         self.strict = strict
-        self.sim = Simulator(max_cycles=max_cycles, tracer=tracer)
+        self.sim = Simulator(max_cycles=max_cycles, tracer=tracer,
+                             telemetry=telemetry)
+        #: The telemetry hook hub every component of this machine
+        #: reports into; probes subscribe here (see ``attach_probes``).
+        self.telemetry = self.sim.telemetry
+        #: Probes attached via :meth:`attach_probes`, install order.
+        self.probes: list = []
         self.topology = Topology(config)
         self.address_map = AddressMap(config)
         self.allocator = Allocator(config)
@@ -101,6 +110,37 @@ class Machine:
         for core_id in core_ids:
             self.load(core_id, factory)
 
+    # -- telemetry probes ---------------------------------------------------
+
+    def attach_probes(self, probes) -> list:
+        """Install telemetry probes; call before the simulation starts.
+
+        ``probes`` mixes registered probe names (``"bank_contention"``)
+        and ready-made :class:`~repro.telemetry.probes.Probe`
+        instances.  Returns the installed instances in order; they are
+        also kept on :attr:`probes` and finalized automatically when a
+        run ends (``TelemetryReport.collect(machine)`` then assembles
+        the report).
+        """
+        installed = []
+        for probe in probes or ():
+            if isinstance(probe, str):
+                probe = create_probe(probe)
+            probe.install(self)
+            self.probes.append(probe)
+            installed.append(probe)
+        return installed
+
+    def telemetry_report(self, spec=None):
+        """The :class:`~repro.telemetry.report.TelemetryReport` of the
+        attached probes (run the machine first)."""
+        from .telemetry.report import TelemetryReport
+        return TelemetryReport.collect(self, spec=spec)
+
+    def _finalize_probes(self) -> None:
+        for probe in self.probes:
+            probe.finalize(self, self.stats)
+
     # -- running ----------------------------------------------------------------
 
     def run(self, until: Optional[Callable[[], bool]] = None) -> SimStats:
@@ -114,6 +154,7 @@ class Machine:
             core.start()
         self.sim.run(until=until)
         self.stats.cycles = self._makespan()
+        self._finalize_probes()
         return self.stats
 
     def run_for(self, cycles: int) -> SimStats:
@@ -129,6 +170,7 @@ class Machine:
             core.start()
         self.sim.run_for(cycles)
         self.stats.cycles = self.sim.now
+        self._finalize_probes()
         return self.stats
 
     def run_until_finished(self, core_ids) -> SimStats:

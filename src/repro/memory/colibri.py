@@ -75,14 +75,32 @@ class ColibriAdapter(AtomicAdapter):
         self.num_addresses = num_addresses
         self.strict = strict
         self._queues: dict = {}  # addr -> _ColibriQueue
+        self._last_depth = 0
+
+    def _note_depth(self) -> None:
+        """Report waiter-count changes to the telemetry queue-depth hook.
+
+        Colibri's waiters are scattered over per-address ``pending``
+        maps and monitoring Mwait heads, so the count is recomputed via
+        :meth:`pending_waiters` — only when a probe is subscribed, and
+        only after operations that can change it.
+        """
+        cb = self.ctrl.telemetry.on_queue_depth
+        if cb is not None:
+            depth = self.pending_waiters()
+            if depth != self._last_depth:
+                self._last_depth = depth
+                cb(self.ctrl.sim.now, self.ctrl.bank_id, depth)
 
     # -- enqueue: LRwait / Mwait ------------------------------------------------
 
     def handle_reserved(self, req: MemRequest) -> None:
         if req.op in (Op.LRWAIT, Op.MWAIT):
             self._handle_wait(req)
+            self._note_depth()
         elif req.op is Op.SCWAIT:
             self._handle_scwait(req)
+            self._note_depth()
         else:
             super().handle_reserved(req)
 
@@ -200,6 +218,7 @@ class ColibriAdapter(AtomicAdapter):
         queue.head = successor
         queue.head_valid = True
         self._serve_head(queue, pending)
+        self._note_depth()
 
     # -- write monitoring ----------------------------------------------------------------
 
@@ -219,6 +238,7 @@ class ColibriAdapter(AtomicAdapter):
         head_req = self._monitoring_request(queue)
         self._respond_and_dequeue(queue, head_req,
                                   value=self.ctrl.read(addr))
+        self._note_depth()
 
     def _monitoring_request(self, queue: _ColibriQueue) -> MemRequest:
         """Reconstruct the head's original request for the response.

@@ -67,6 +67,9 @@ class BankController:
         self.network = network
         self.address_map = address_map
         self.stats = stats
+        #: Telemetry hub (stable object); adapters reach it through the
+        #: controller so fakes can supply their own in tests.
+        self.telemetry = sim.telemetry
         self.bank = SpmBank(bank_id, address_map.words_per_bank,
                             address_map.word_bytes)
         self.adapter = build_adapter(self, variant, num_cores, strict)
@@ -85,6 +88,9 @@ class BankController:
             self.stats.conflicts += 1
         self._port_free_at = start + self.service_cycles
         self.stats.busy_cycles += self.service_cycles
+        cb = self.telemetry.on_bank_access
+        if cb is not None:
+            cb(now, self.bank_id, msg, start - now)
         if start == now:
             self._service(msg)
         else:
@@ -132,10 +138,14 @@ class BankController:
                 status: Status = Status.OK,
                 successor_pending: bool = False) -> None:
         """Send a response for ``req`` back through the network."""
-        self.network.send_response(MemResponse(
+        resp = MemResponse(
             op=req.op, core_id=req.core_id, addr=req.addr, value=value,
             status=status, req_id=req.req_id,
-            successor_pending=successor_pending), self.bank_id)
+            successor_pending=successor_pending)
+        cb = self.telemetry.on_bank_response
+        if cb is not None:
+            cb(self.sim.now, self.bank_id, resp)
+        self.network.send_response(resp, self.bank_id)
 
     def send_successor_update(self, msg: SuccessorUpdate) -> None:
         """Forward a Colibri enqueue-link message to a Qnode."""

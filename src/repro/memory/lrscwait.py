@@ -79,6 +79,9 @@ class LrscWaitAdapter(AtomicAdapter):
                 f"0x{req.addr:x} (violates §III-b single-LRwait rule)")
         queue.append(_Waiter(req))
         self._occupancy += 1
+        cb = self.ctrl.telemetry.on_queue_depth
+        if cb is not None:
+            cb(self.ctrl.sim.now, self.ctrl.bank_id, self._occupancy)
         if len(queue) == 1:
             self._serve_head(req.addr)
 
@@ -140,6 +143,9 @@ class LrscWaitAdapter(AtomicAdapter):
         queue = self._queues[addr]
         queue.popleft()
         self._occupancy -= 1
+        cb = self.ctrl.telemetry.on_queue_depth
+        if cb is not None:
+            cb(self.ctrl.sim.now, self.ctrl.bank_id, self._occupancy)
         if not queue:
             del self._queues[addr]
 

@@ -89,6 +89,9 @@ class ScenarioResult:
     metrics: dict = field(default_factory=dict)
     point: object = None
     stats: object = None
+    #: :class:`~repro.telemetry.report.TelemetryReport` when the run was
+    #: probed (see :func:`run_scenario`); never persisted in caches.
+    telemetry: object = None
 
     def scalars(self) -> dict:
         """Headline numbers + extras, for tables and JSON output."""
@@ -109,10 +112,36 @@ def build_machine(spec: ScenarioSpec, **machine_kwargs) -> Machine:
                    seed=spec.seed, **machine_kwargs)
 
 
+class _ProbeRequest:
+    """Probes queued by :func:`run_scenario` for the next template run.
+
+    Threading a ``probes`` argument through every registered workload's
+    ``run`` would break third-party workload signatures, so the request
+    rides a module-level stack instead: :func:`execute` (the standard
+    template) consumes it when it builds the machine.  Composite
+    workloads that bypass the template never consume it, which
+    :func:`run_scenario` turns into a clear error.
+    """
+
+    def __init__(self, probes) -> None:
+        self.probes = list(probes)
+        self.consumed = False
+
+    def take(self) -> list:
+        self.consumed = True
+        return self.probes
+
+
+_PROBE_STACK: list = []
+
+
 def execute(workload, spec: ScenarioSpec) -> ScenarioResult:
     """The standard run template shared by every non-composite workload."""
     machine = build_machine(spec)
     loaded = workload.load(machine, spec)
+    request = _PROBE_STACK[-1] if _PROBE_STACK else None
+    probes = (machine.attach_probes(request.take())
+              if request is not None and not request.consumed else [])
     if spec.mode == "completion":
         stats = machine.run()
     elif spec.mode == "horizon":
@@ -130,6 +159,10 @@ def execute(workload, spec: ScenarioSpec) -> ScenarioResult:
     metrics = dict(extra)
     for name in spec.metrics:
         metrics[name] = METRICS[name](stats)
+    telemetry = None
+    if probes:
+        from ..telemetry.report import TelemetryReport
+        telemetry = TelemetryReport.collect(machine, probes, spec=spec)
     return ScenarioResult(
         spec=spec,
         cycles=stats.cycles,
@@ -139,7 +172,8 @@ def execute(workload, spec: ScenarioSpec) -> ScenarioResult:
         sleep_cycles=stats.total_sleep_cycles,
         metrics=metrics,
         point=point,
-        stats=stats)
+        stats=stats,
+        telemetry=telemetry)
 
 
 def _execute_spec(spec: ScenarioSpec) -> ScenarioResult:
@@ -152,9 +186,34 @@ def _cache_key(spec: ScenarioSpec) -> str:
 
 
 def run_scenario(spec: ScenarioSpec, jobs: int = 1,
-                 cache=None) -> ScenarioResult:
+                 cache=None, probes=None) -> ScenarioResult:
     """Run one spec; ``jobs`` is accepted for interface symmetry with
-    :func:`run_scenarios` (a single point always runs in-process)."""
+    :func:`run_scenarios` (a single point always runs in-process).
+
+    ``probes`` attaches telemetry probes (registered names or
+    :class:`~repro.telemetry.probes.Probe` instances) to the run; the
+    collected :class:`~repro.telemetry.report.TelemetryReport` arrives
+    as ``result.telemetry``.  Probed runs always simulate fresh and
+    in-process — telemetry is a diagnostic of *this* execution, so the
+    result cache is deliberately bypassed and never polluted with probe
+    data.  Only workloads using the standard run template support
+    probes; composites (e.g. ``interference``) raise
+    :class:`~repro.engine.errors.ConfigError`.
+    """
+    if probes:
+        spec.validate()
+        request = _ProbeRequest(probes)
+        _PROBE_STACK.append(request)
+        try:
+            result = get_workload(spec.workload).run(spec)
+        finally:
+            _PROBE_STACK.pop()
+        if not request.consumed:
+            raise ConfigError(
+                f"workload {spec.workload!r} runs outside the standard "
+                f"template (composite measurement) and does not support "
+                f"telemetry probes")
+        return result
     return run_scenarios([spec], jobs=jobs, cache=cache)[0]
 
 
@@ -201,8 +260,11 @@ def run_scenarios(specs: Sequence[ScenarioSpec], jobs: int = 1,
     for (index, spec), result in zip(pending, computed):
         results[index] = result
         if cache is not None:
+            # stats and telemetry are the bulky diagnostics; cached
+            # entries keep only the scalars/point a sweep consumes.
             cache.store_hash(_cache_key(spec),
-                             dataclasses.replace(result, stats=None))
+                             dataclasses.replace(result, stats=None,
+                                                 telemetry=None))
     return results
 
 

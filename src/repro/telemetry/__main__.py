@@ -1,0 +1,13 @@
+"""``python -m repro.telemetry <report.json> [...]`` — schema validation.
+
+Thin wrapper over :func:`repro.telemetry.schema.main` so CI can
+validate exported telemetry reports without tripping runpy's
+already-imported-module warning.
+"""
+
+import sys
+
+from .schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

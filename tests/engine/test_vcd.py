@@ -66,6 +66,49 @@ def test_write_vcd_from_real_run(tmp_path):
     assert "sidle" in text
 
 
+def test_write_vcd_from_telemetry_timeline(tmp_path):
+    """Telemetry core-state spans export as VCD signals without a Tracer."""
+    machine = Machine(SystemConfig.scaled(4), VariantSpec.colibri(), seed=1)
+    counter = machine.allocator.alloc_interleaved(1)
+    (timeline,) = machine.attach_probes(["core_timeline"])
+    machine.load_all(increment_kernel_wait(counter, 2))
+    machine.run()
+    path = str(tmp_path / "timeline.vcd")
+    count = write_vcd(None, machine.config, path,
+                      core_states=timeline.spans())
+    assert count > 0
+    with open(path) as handle:
+        text = handle.read()
+    assert "$scope module cores $end" in text
+    assert "banks" not in text  # telemetry-only dump has no bank signals
+    assert "sactive" in text and "ssleeping" in text
+    for core_id in range(4):
+        assert f"core{core_id}" in text
+
+
+def test_write_vcd_merges_tracer_and_telemetry(tmp_path):
+    """Trace records and telemetry spans coexist; duplicate core-state
+    changes collapse through the last-value filter."""
+    tracer = Tracer(enabled=True)
+    machine = Machine(SystemConfig.scaled(4), VariantSpec.colibri(),
+                      seed=1, tracer=tracer)
+    counter = machine.allocator.alloc_interleaved(1)
+    (timeline,) = machine.attach_probes(["core_timeline"])
+    machine.load_all(increment_kernel_wait(counter, 2))
+    machine.run()
+    merged = str(tmp_path / "merged.vcd")
+    trace_only = str(tmp_path / "trace.vcd")
+    merged_count = write_vcd(tracer, machine.config, merged,
+                             core_states=timeline.spans())
+    trace_count = write_vcd(tracer, machine.config, trace_only)
+    # The telemetry spans mirror the traced transitions, so merging
+    # them adds no spurious changes.
+    assert merged_count == trace_count
+    with open(merged) as handle:
+        text = handle.read()
+    assert "$scope module banks $end" in text
+
+
 def test_write_vcd_empty_trace(tmp_path):
     tracer = Tracer(enabled=True)
     path = str(tmp_path / "empty.vcd")

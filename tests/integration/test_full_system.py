@@ -168,8 +168,10 @@ def test_tracer_observes_protocol_traffic():
     allocs = sum(1 for r in tracer.records if r.kind == "colibri_alloc")
     frees = sum(1 for r in tracer.records if r.kind == "colibri_free")
     assert allocs == frees > 0
-    rendered = tracer.render(limit=5)
-    assert "bank" in rendered
+    # Cores announce their initial active state at load, so the
+    # render leads with core records; bank traffic follows.
+    assert "core" in tracer.render(limit=5)
+    assert "bank" in tracer.render()
 
 
 def test_tracer_kind_filter_reduces_volume():

@@ -16,11 +16,16 @@ class FakeController:
     """Implements the controller service interface adapters rely on."""
 
     def __init__(self, bank_id: int = 0, words: int = 64) -> None:
+        from repro.engine.simulator import Simulator
         from repro.memory.bank import SpmBank
 
         self.bank_id = bank_id
         self.bank = SpmBank(bank_id, words)
         self.stats = BankStats(bank_id=bank_id)
+        # Adapters read the clock and the telemetry hub through their
+        # controller; a real (never-run) simulator provides both.
+        self.sim = Simulator()
+        self.telemetry = self.sim.telemetry
         self.responses: list = []
         self.successor_updates: list = []
         self.traces: list = []

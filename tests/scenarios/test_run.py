@@ -180,3 +180,19 @@ def test_cache_entries_drop_stats_but_keep_points(tmp_path):
     assert hit.point == fresh.point
     assert hit.metrics == fresh.metrics
     assert hit.cycles == fresh.cycles
+
+
+def test_probed_runs_bypass_and_never_pollute_the_cache(tmp_path):
+    """Telemetry reports stay out of ResultCache entries: a probed run
+    simulates fresh (even on a warm cache) and the entry it would have
+    matched keeps serving slim, telemetry-free results."""
+    cache = ResultCache(str(tmp_path))
+    spec = paper_point_spec()
+    run_scenario(spec, cache=cache)                    # warm the cache
+    probed = run_scenario(spec, probes=["bank_contention"])
+    assert probed.telemetry is not None
+    assert probed.telemetry.probes["bank_contention"]["banks"]
+    hit = run_scenario(spec, cache=cache)              # still a slim hit
+    assert hit.telemetry is None
+    assert hit.stats is None
+    assert hit.cycles == probed.cycles

@@ -1,0 +1,138 @@
+"""CLI tests for ``repro trace`` and the list discoverability fixes."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.scenarios import list_workloads
+from repro.telemetry import list_probes, validate_report
+
+
+def run_cli(capsys, argv, expect_code=0):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == expect_code, captured.out
+    return captured.out
+
+
+def test_trace_renders_and_prints_json(capsys):
+    """The acceptance-criterion invocation: heatmap + timeline + JSON."""
+    out = run_cli(capsys, ["trace", "histogram", "--smoke",
+                           "--probe", "bank_contention",
+                           "--probe", "core_timeline"])
+    assert "bank accesses per" in out
+    assert "core states over" in out
+    data = json.loads(out[out.index("JSON report:") + len("JSON report:"):])
+    validate_report(data)
+    assert set(data["probes"]) == {"bank_contention", "core_timeline"}
+
+
+def test_trace_default_attaches_every_probe(capsys):
+    out = run_cli(capsys, ["trace", "histogram", "--smoke", "--seed", "1"])
+    for name, _cls in list_probes():
+        assert name in out
+
+
+def test_trace_json_export_validates(capsys, tmp_path):
+    out_dir = str(tmp_path / "report")
+    out = run_cli(capsys, ["trace", "histogram", "--smoke",
+                           "--out", out_dir])
+    assert "exported:" in out
+    path = os.path.join(out_dir, "telemetry.json")
+    with open(path) as stream:
+        validate_report(json.load(stream))
+
+
+def test_trace_csv_export_one_file_per_probe(capsys, tmp_path):
+    out_dir = str(tmp_path / "csv")
+    run_cli(capsys, ["trace", "queue", "--smoke", "--format", "csv",
+                     "--out", out_dir,
+                     "--probe", "bank_contention",
+                     "--probe", "message_latency"])
+    assert sorted(os.listdir(out_dir)) == ["bank_contention.csv",
+                                           "message_latency.csv"]
+
+
+def test_trace_vcd_export_contains_core_signals(capsys, tmp_path):
+    out_dir = str(tmp_path / "vcd")
+    run_cli(capsys, ["trace", "histogram", "--smoke",
+                     "--probe", "core_timeline",
+                     "--format", "vcd", "--out", out_dir])
+    with open(os.path.join(out_dir, "trace.vcd")) as stream:
+        text = stream.read()
+    assert "$scope module cores $end" in text
+    assert "sactive" in text
+    assert "ssleeping" in text
+
+
+def test_trace_vcd_without_timeline_probe_fails_cleanly(capsys, tmp_path):
+    out = run_cli(capsys, ["trace", "histogram", "--smoke",
+                           "--probe", "bank_contention",
+                           "--format", "vcd",
+                           "--out", str(tmp_path / "x")],
+                  expect_code=2)
+    assert "core_timeline" in out
+
+
+def test_trace_bad_probe_option_exits_2(capsys):
+    out = run_cli(capsys, ["trace", "histogram", "--smoke",
+                           "--probe", "bank_contention",
+                           "--window", "0"],
+                  expect_code=2)
+    assert "rejected options" in out
+
+
+def test_trace_csv_without_out_exits_2(capsys):
+    out = run_cli(capsys, ["trace", "histogram", "--smoke",
+                           "--format", "csv"], expect_code=2)
+    assert "--out" in out
+
+
+def test_trace_unknown_probe_exits_2(capsys):
+    out = run_cli(capsys, ["trace", "histogram", "--probe", "warp_probe"],
+                  expect_code=2)
+    assert "no probe registered" in out
+
+
+def test_trace_unknown_scenario_exits_2(capsys):
+    out = run_cli(capsys, ["trace", "warp_drive"], expect_code=2)
+    assert "no workload registered" in out
+
+
+def test_trace_composite_scenario_exits_2(capsys):
+    out = run_cli(capsys, ["trace", "interference", "--smoke"],
+                  expect_code=2)
+    assert "does not support" in out
+
+
+def test_trace_window_reaches_bank_contention(capsys):
+    out = run_cli(capsys, ["trace", "histogram", "--smoke",
+                           "--probe", "bank_contention",
+                           "--window", "32"])
+    assert "per 32-cycle window" in out
+
+
+# -- repro list discoverability ----------------------------------------------
+
+
+def test_list_shows_tunable_params(capsys):
+    out = run_cli(capsys, ["list"])
+    assert "tunable params" in out
+    assert "bins=" in out              # histogram parameter surfaced
+    assert "updates_per_core=" in out
+
+
+def test_list_long_details_every_workload(capsys):
+    out = run_cli(capsys, ["list", "--long"])
+    for name, workload in list_workloads():
+        assert name in out
+        for key in workload.params:
+            assert key in out
+    assert "--set key=value" in out
+
+
+def test_list_probes_flag(capsys):
+    out = run_cli(capsys, ["list", "--probes"])
+    for name, cls in list_probes():
+        assert name in out
+    assert "repro trace" in out

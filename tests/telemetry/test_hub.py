@@ -1,0 +1,52 @@
+"""Tests for the telemetry hook hub."""
+
+import pytest
+
+from repro.telemetry import HOOKS, Telemetry
+
+
+def test_hooks_start_disabled():
+    hub = Telemetry()
+    assert not hub.active
+    for hook in HOOKS:
+        assert getattr(hub, "on_" + hook) is None
+
+
+def test_single_subscriber_is_installed_directly():
+    """One subscriber means zero dispatch indirection on the hot path."""
+    hub = Telemetry()
+    calls = []
+
+    def receiver(*args):
+        calls.append(args)
+
+    hub.subscribe("bank_access", receiver)
+    assert hub.on_bank_access is receiver
+    assert hub.active
+    hub.on_bank_access(1, 2, "msg", 0)
+    assert calls == [(1, 2, "msg", 0)]
+
+
+def test_fanout_preserves_subscription_order():
+    hub = Telemetry()
+    order = []
+    hub.subscribe("core_state", lambda *a: order.append(("first", a)))
+    hub.subscribe("core_state", lambda *a: order.append(("second", a)))
+    hub.subscribe("core_state", lambda *a: order.append(("third", a)))
+    hub.on_core_state(5, 0, "active")
+    assert [name for name, _args in order] == ["first", "second", "third"]
+    assert all(args == (5, 0, "active") for _name, args in order)
+    assert [s for s in hub.subscribers("core_state")]  # exposed in order
+
+
+def test_unknown_hook_rejected():
+    with pytest.raises(ValueError, match="unknown telemetry hook"):
+        Telemetry().subscribe("no_such_hook", lambda: None)
+
+
+def test_hooks_are_independent():
+    hub = Telemetry()
+    hub.subscribe("message", lambda *a: None)
+    assert hub.on_message is not None
+    assert hub.on_bank_access is None
+    assert hub.on_queue_depth is None

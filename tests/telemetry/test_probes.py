@@ -1,0 +1,282 @@
+"""Probe registry semantics and probe/stats reconciliation."""
+
+import pytest
+
+from repro import Machine, SystemConfig, VariantSpec
+from repro.engine.errors import ConfigError
+from repro.scenarios import default_spec, run_scenario
+from repro.telemetry import (
+    BankContention,
+    CoreTimeline,
+    Probe,
+    UnknownProbeError,
+    create_probe,
+    get_probe,
+    list_probes,
+    register_probe,
+    unregister_probe,
+)
+
+from ..conftest import increment_kernel_wait, make_machine
+
+BUILTINS = ("bank_contention", "core_timeline", "queue_occupancy",
+            "message_latency")
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_builtin_probes_registered():
+    names = [name for name, _cls in list_probes()]
+    for name in BUILTINS:
+        assert name in names
+
+
+def test_unknown_probe_error_names_alternatives():
+    with pytest.raises(UnknownProbeError, match="bank_contention"):
+        get_probe("no_such_probe")
+
+
+def test_unknown_probe_is_config_error():
+    """Unknown probes exit 2 through the CLI, like scenario errors."""
+    assert issubclass(UnknownProbeError, ConfigError)
+
+
+def test_duplicate_registration_rejected_and_replace_allows():
+    @register_probe("tmp_probe")
+    class TmpProbe(Probe):
+        def install(self, machine):
+            pass
+
+        def report(self):
+            return {}
+
+    try:
+        with pytest.raises(ConfigError, match="already registered"):
+            register_probe("tmp_probe")(TmpProbe)
+        register_probe("tmp_probe", replace=True)(TmpProbe)
+    finally:
+        unregister_probe("tmp_probe")
+    with pytest.raises(UnknownProbeError):
+        get_probe("tmp_probe")
+
+
+def test_create_probe_passes_and_rejects_options():
+    probe = create_probe("bank_contention", window=64)
+    assert probe.window == 64
+    with pytest.raises(ConfigError, match="rejected options"):
+        create_probe("core_timeline", window=64)
+
+
+def test_probe_name_must_be_string():
+    with pytest.raises(ConfigError):
+        register_probe("")
+
+
+# -- reconciliation with engine/stats counters --------------------------------
+
+
+def probed_run(variant=None, probes=BUILTINS, cores=16, bins=1, updates=6,
+               seed=3):
+    spec = default_spec("histogram", num_cores=cores, seed=seed,
+                        variant=variant or "colibri").with_params(
+        bins=bins, updates_per_core=updates)
+    return run_scenario(spec, probes=list(probes))
+
+
+def test_bank_contention_reconciles_with_bank_stats():
+    """Acceptance: per-bank telemetry totals equal the aggregate
+    counters of engine/stats for the same seed."""
+    result = probed_run()
+    section = result.telemetry.probes["bank_contention"]
+    assert len(section["banks"]) == len(result.stats.banks)
+    for bank in section["banks"]:
+        stats = result.stats.banks[bank["bank"]]
+        assert bank["accesses"] == stats.accesses
+        assert bank["conflicts"] == stats.conflicts
+        # Windowed cells sum back to the totals.
+        assert sum(cell[1] for cell in bank["windows"]) == bank["accesses"]
+        assert sum(cell[2] for cell in bank["windows"]) == bank["conflicts"]
+
+
+def test_bank_contention_counts_failed_responses_for_lrsc():
+    """A polling LR/SC run on one bin produces SC failures, and the
+    probe sees them at the bank that served them."""
+    spec = default_spec("histogram", num_cores=16,
+                        variant="lrsc").with_params(
+        bins=1, updates_per_core=4, method="lrsc")
+    result = run_scenario(spec, probes=["bank_contention"])
+    failed = sum(b["failed_responses"]
+                 for b in result.telemetry.probes["bank_contention"]["banks"])
+    assert failed == result.stats.total_sc_failures > 0
+
+
+def test_core_timeline_spans_partition_the_run():
+    result = probed_run()
+    section = result.telemetry.probes["core_timeline"]
+    assert len(section["cores"]) == 16
+    for core in section["cores"]:
+        spans = core["spans"]
+        assert spans[0][1] == 0
+        for (_s1, _a1, end1), (_s2, start2, _e2) in zip(spans, spans[1:]):
+            assert end1 == start2  # contiguous, no holes
+        assert all(end > start for _state, start, end in spans)
+    totals = section["state_totals"]
+    assert totals.get("sleeping", 0) > 0  # colibri cores sleep
+    assert totals.get("active", 0) > 0
+
+
+def test_core_timeline_sleep_matches_stats_order_of_magnitude():
+    """Span-measured sleeping covers at least the stats sleep cycles
+    (spans also include the 1-cycle issue stage before the send)."""
+    result = probed_run()
+    section = result.telemetry.probes["core_timeline"]
+    span_sleep = section["state_totals"]["sleeping"]
+    stats_sleep = result.stats.total_sleep_cycles
+    assert stats_sleep <= span_sleep <= stats_sleep + 2 * 16 * 6 * 2
+
+
+def test_queue_occupancy_tracks_lrscwait_queue():
+    result = probed_run(variant="lrscwait:ideal")
+    section = result.telemetry.probes["queue_occupancy"]
+    active = [bank for bank in section["banks"] if bank["samples"]]
+    assert active, "contended run must produce queue samples"
+    for bank in active:
+        depths = [depth for _cycle, depth in bank["samples"]]
+        assert bank["max_depth"] == max(depths)
+        assert 0 < bank["max_depth"] <= 16
+        assert 0 <= bank["mean_depth"] <= bank["max_depth"]
+        cycles = [cycle for cycle, _depth in bank["samples"]]
+        assert cycles == sorted(cycles)
+    # All waiters served by the end of a completed run.
+    assert all(bank["samples"][-1][1] == 0 for bank in active)
+
+
+def test_queue_occupancy_tracks_colibri_waiters():
+    result = probed_run(variant="colibri")
+    section = result.telemetry.probes["queue_occupancy"]
+    active = [bank for bank in section["banks"] if bank["samples"]]
+    assert active
+    assert max(bank["max_depth"] for bank in active) > 0
+    assert all(bank["samples"][-1][1] == 0 for bank in active)
+
+
+def test_message_latency_bucket_boundaries():
+    """Exact powers of two land in their own (upper/2, upper] bucket."""
+    probe = create_probe("message_latency")
+
+    class Resp:
+        class op:
+            value = "lw"
+
+    for waited in (0, 1, 2, 3, 4, 5, 8, 9):
+        probe._on_response(0, 0, Resp, waited)
+    histogram = dict(probe.report()["round_trip"]["lw"]["histogram"])
+    assert histogram == {1: 2,    # waits 0 and 1
+                         2: 1,    # wait 2
+                         4: 2,    # waits 3 and 4
+                         8: 2,    # waits 5 and 8
+                         16: 1}   # wait 9
+
+
+def test_message_latency_reconciles_with_request_counts():
+    result = probed_run()
+    section = result.telemetry.probes["message_latency"]
+    # Every issued request produced exactly one observed response.
+    responses = sum(entry["count"]
+                    for entry in section["round_trip"].values())
+    assert responses == result.stats.total_requests
+    # Histogram buckets sum to the per-op counts.
+    for entry in section["round_trip"].values():
+        assert sum(n for _le, n in entry["histogram"]) == entry["count"]
+        assert entry["max_cycles"] >= entry["mean_cycles"]
+    # Network counts by kind match the aggregate message counters.
+    by_kind = {kind: sum(classes.values())
+               for kind, classes in section["messages"].items()}
+    assert by_kind == result.stats.network.messages
+
+
+# -- determinism and hook ordering --------------------------------------------
+
+
+def test_probed_reports_are_deterministic():
+    first = probed_run().telemetry.to_json()
+    second = probed_run().telemetry.to_json()
+    assert first == second
+
+
+def test_probing_does_not_change_the_measurement():
+    bare = probed_run(probes=())
+    probed = probed_run()
+    assert bare.cycles == probed.cycles
+    assert bare.messages == probed.messages
+    assert bare.metrics == probed.metrics
+
+
+def test_hook_dispatch_order_follows_attach_order():
+    """Two probes on the same hook observe events in attach order,
+    deterministically across runs."""
+
+    class Recorder(Probe):
+        name = "recorder"
+
+        def __init__(self, log, tag):
+            self.log = log
+            self.tag = tag
+
+        def install(self, machine):
+            machine.telemetry.subscribe(
+                "bank_access",
+                lambda cycle, bank, msg, queued: self.log.append(
+                    (self.tag, cycle, bank)))
+
+        def report(self):
+            return {}
+
+    def run_once():
+        log = []
+        machine = make_machine(8, VariantSpec.colibri(), seed=1)
+        counter = machine.allocator.alloc_interleaved(1)
+        machine.attach_probes([Recorder(log, "a"), Recorder(log, "b")])
+        machine.load_all(increment_kernel_wait(counter, 2))
+        machine.run()
+        return log
+
+    log = run_once()
+    assert log, "contended run must hit bank ports"
+    # Events alternate a,b for every observation, in attach order.
+    for first, second in zip(log[0::2], log[1::2]):
+        assert first[0] == "a" and second[0] == "b"
+        assert first[1:] == second[1:]
+    assert log == run_once()
+
+
+# -- direct machine attachment ------------------------------------------------
+
+
+def test_attach_probes_on_machine_and_collect():
+    machine = Machine(SystemConfig.scaled(8), VariantSpec.colibri(), seed=2)
+    counter = machine.allocator.alloc_interleaved(1)
+    machine.load_all(increment_kernel_wait(counter, 3))
+    probes = machine.attach_probes(["bank_contention", CoreTimeline()])
+    assert isinstance(probes[0], BankContention)
+    machine.run()
+    report = machine.telemetry_report()
+    assert set(report.probes) == {"bank_contention", "core_timeline"}
+    assert report.workload is None
+    assert report.cycles == machine.stats.cycles
+
+
+def test_probes_survive_horizon_runs():
+    spec = default_spec("histogram", num_cores=8, mode="horizon",
+                        horizon=200).with_params(bins=1, updates_per_core=50)
+    result = run_scenario(spec, probes=["core_timeline"])
+    section = result.telemetry.probes["core_timeline"]
+    ends = [core["spans"][-1][2] for core in section["cores"]]
+    assert max(ends) <= 200 + 1
+
+
+def test_composite_workload_rejects_probes():
+    spec = default_spec("interference").with_params(workers=2, matmul_dim=4)
+    with pytest.raises(ConfigError, match="does not support telemetry"):
+        run_scenario(spec, probes=["bank_contention"])

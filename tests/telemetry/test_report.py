@@ -1,0 +1,116 @@
+"""TelemetryReport serialization round-trips, CSV export, and schema."""
+
+import csv
+import json
+
+import pytest
+
+from repro.scenarios import default_spec, run_scenario
+from repro.telemetry import (
+    SchemaError,
+    TelemetryReport,
+    validate_report,
+)
+
+BUILTINS = ["bank_contention", "core_timeline", "queue_occupancy",
+            "message_latency"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    spec = default_spec("histogram", num_cores=16, seed=7).with_params(
+        bins=2, updates_per_core=4)
+    return run_scenario(spec, probes=BUILTINS).telemetry
+
+
+def test_json_round_trip(report):
+    rebuilt = TelemetryReport.from_json(report.to_json())
+    assert rebuilt == report
+    assert rebuilt.to_json() == report.to_json()
+
+
+def test_dict_round_trip_rejects_unknown_fields(report):
+    data = report.to_dict()
+    assert TelemetryReport.from_dict(data) == report
+    data["bogus"] = 1
+    with pytest.raises(Exception, match="unknown report fields"):
+        TelemetryReport.from_dict(data)
+
+
+def test_report_carries_run_identity(report):
+    assert report.workload == "histogram"
+    assert report.num_cores == 16
+    assert report.seed == 7
+    assert report.spec["params"]["bins"] == 2
+    assert report.cycles > 0
+
+
+def test_save_json_validates_on_disk(report, tmp_path):
+    path = report.save_json(str(tmp_path / "telemetry.json"))
+    with open(path) as stream:
+        data = json.load(stream)
+    validate_report(data)
+    assert set(data["probes"]) == set(BUILTINS)
+
+
+def test_csv_export_round_trips_totals(report, tmp_path):
+    paths = report.to_csv(str(tmp_path))
+    assert set(paths) == set(BUILTINS)
+
+    # bank_contention rows sum back to the probe's totals.
+    with open(paths["bank_contention"]) as stream:
+        rows = list(csv.DictReader(stream))
+    by_bank: dict = {}
+    for row in rows:
+        by_bank.setdefault(int(row["bank"]), [0, 0])
+        by_bank[int(row["bank"])][0] += int(row["accesses"])
+        by_bank[int(row["bank"])][1] += int(row["conflicts"])
+    for bank in report.probes["bank_contention"]["banks"]:
+        if bank["accesses"]:
+            assert by_bank[bank["bank"]] == [bank["accesses"],
+                                             bank["conflicts"]]
+
+    # core_timeline rows reproduce every span.
+    with open(paths["core_timeline"]) as stream:
+        span_rows = [(int(r["core"]), r["state"], int(r["start"]),
+                      int(r["end"])) for r in csv.DictReader(stream)]
+    expected = [(core["core"], state, start, end)
+                for core in report.probes["core_timeline"]["cores"]
+                for state, start, end in core["spans"]]
+    assert span_rows == expected
+
+
+def test_render_mentions_every_probe_view(report):
+    text = report.render(width=40)
+    assert "telemetry report" in text
+    assert "bank accesses per" in text
+    assert "core states over" in text
+    assert "round-trip latency" in text
+    assert "queue occupancy" in text
+
+
+def test_schema_rejects_malformed_reports(report):
+    good = json.loads(report.to_json())
+    validate_report(good)
+
+    with pytest.raises(SchemaError, match="missing key"):
+        validate_report({"version": 1})
+
+    bad = json.loads(report.to_json())
+    bad["probes"]["core_timeline"]["cores"][0]["spans"].append(["x", 5, 2])
+    with pytest.raises(SchemaError, match="ends before it starts"):
+        validate_report(bad)
+
+    bad = json.loads(report.to_json())
+    bad["cycles"] = "many"
+    with pytest.raises(SchemaError, match="cycles"):
+        validate_report(bad)
+
+
+def test_schema_ignores_unknown_probe_sections(report):
+    data = json.loads(report.to_json())
+    data["probes"]["custom_probe"] = {"anything": [1, 2, 3]}
+    validate_report(data)  # user probes are structurally unconstrained
+    data["probes"]["custom_probe"] = "not a dict"
+    with pytest.raises(SchemaError, match="section must be a dict"):
+        validate_report(data)
