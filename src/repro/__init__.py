@@ -24,7 +24,13 @@ The package provides:
 * a pluggable telemetry subsystem (:mod:`repro.telemetry`): probes
   observing the kernel/cores/banks/interconnect through near-zero-cost
   hooks, cycle-resolved contention heatmaps and core timelines, JSON/
-  CSV/VCD export — the surface behind ``repro trace``.
+  CSV/VCD export — the surface behind ``repro trace``;
+* a design-space exploration subsystem (:mod:`repro.dse`): declarative
+  :class:`~repro.dse.space.SearchSpace`\\ s with constraints, pluggable
+  samplers (grid, random, successive halving), metric/telemetry
+  objectives, and budgeted :class:`~repro.dse.campaign.Campaign`\\ s
+  with resumable journals and Pareto frontiers — the surface behind
+  ``repro explore`` / ``repro frontier``.
 """
 
 from .arch.config import LatencyConfig, SystemConfig
@@ -35,6 +41,15 @@ from .engine.errors import (
     ProtocolViolation,
     ReproError,
     SimulationError,
+)
+from .dse import (
+    Campaign,
+    CampaignResult,
+    Objective,
+    Sampler,
+    SearchSpace,
+    list_samplers,
+    register_sampler,
 )
 from .engine.stats import SimStats
 from .engine.trace import Tracer
@@ -59,7 +74,7 @@ from .telemetry import (
     register_probe,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "LatencyConfig",
@@ -89,5 +104,12 @@ __all__ = [
     "TelemetryReport",
     "list_probes",
     "register_probe",
+    "Campaign",
+    "CampaignResult",
+    "Objective",
+    "Sampler",
+    "SearchSpace",
+    "list_samplers",
+    "register_sampler",
     "__version__",
 ]

@@ -9,7 +9,16 @@ diagnostics without writing a kernel:
   defaults (``--long`` for the full per-workload detail, ``--probes``
   for the telemetry probe registry);
 * ``sweep`` — a cartesian sweep over spec/param axes
-  (``repro sweep histogram --axis bins=1,4,16``);
+  (``repro sweep histogram --axis bins=1,4,16``), exportable with
+  ``--out DIR --format json|csv``;
+* ``explore`` — a budgeted design-space search campaign over axes with
+  objectives, samplers and a resumable journal (``repro explore
+  histogram --axis bins=1,4,16 --axis variant=lrsc,colibri
+  --objective min:cycles --sampler halving --budget 12 --out DIR``);
+* ``frontier`` — rankings and the Pareto frontier of a saved campaign
+  journal (``repro frontier DIR/journal.json``);
+* ``cache`` — result-cache maintenance (``repro cache stats|prune
+  --cache-dir DIR [--max-entries N]``);
 * ``trace`` — run a scenario with telemetry probes attached and render
   or export the diagnostics (``repro trace histogram --probe
   bank_contention --out report/ --format json``);
@@ -81,6 +90,11 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="memoize finished points here; re-runs only "
                              "simulate configurations that changed")
+    parser.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="bound the cache directory at N entries "
+                             "with LRU eviction (default: unbounded; "
+                             "see also 'repro cache prune')")
 
 
 def _runner_options(args):
@@ -88,10 +102,14 @@ def _runner_options(args):
     if not args.cache_dir:
         return args.jobs, None
     try:
-        cache = ResultCache(args.cache_dir)
+        cache = ResultCache(args.cache_dir,
+                            max_entries=getattr(args, "cache_max_entries",
+                                                None))
     except OSError as exc:
         raise SystemExit(
             f"repro: cannot use --cache-dir {args.cache_dir!r}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"repro: --cache-max-entries: {exc}")
     return args.jobs, cache
 
 
@@ -175,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     lst.add_argument("--probes", action="store_true",
                      help="list registered telemetry probes instead "
                           "(for 'repro trace --probe')")
+    lst.add_argument("--samplers", action="store_true",
+                     help="list registered search samplers instead "
+                          "(for 'repro explore --sampler')")
 
     trace = sub.add_parser(
         "trace", help="run one scenario with telemetry probes attached")
@@ -223,7 +244,92 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--cores", type=int, default=None)
     swp.add_argument("--variant", default=None)
     swp.add_argument("--seed", type=int, default=None)
+    swp.add_argument("--out", default=None, metavar="DIR",
+                     help="also export the sweep results into this "
+                          "directory (created if missing)")
+    swp.add_argument("--format", choices=("json", "csv"), default="json",
+                     help="export format for --out: one JSON document "
+                          "or one tidy CSV table")
     _add_jobs(swp)
+
+    explore = sub.add_parser(
+        "explore", help="budgeted design-space search campaign "
+                        "(samplers, objectives, Pareto frontier)")
+    explore.add_argument("scenario", help="registered workload name "
+                                          "(see 'repro list')")
+    explore.add_argument("--axis", action="append", required=True,
+                         dest="axes", metavar="KEY=V1,V2,...",
+                         help="search axis (spec field or workload "
+                              "param); repeat to span more dimensions")
+    explore.add_argument("--constraint", action="append", default=[],
+                         dest="constraints", metavar="EXPR",
+                         help="boolean expression over axis keys that "
+                              "prunes invalid combinations (e.g. "
+                              "'bins <= cores'); repeatable")
+    explore.add_argument("--objective", action="append", default=[],
+                         dest="objectives", metavar="GOAL:METRIC",
+                         help="optimization target, e.g. min:cycles, "
+                              "max:throughput, min:energy; first is "
+                              "primary, several build a Pareto "
+                              "frontier (default: min:cycles)")
+    explore.add_argument("--sampler", default="grid",
+                         help="search strategy: grid, random, or "
+                              "halving (see 'repro list --samplers')")
+    explore.add_argument("--budget", type=int, required=True,
+                         help="maximum number of *fresh* simulations; "
+                              "cache hits, journal replays and repeat "
+                              "proposals are free")
+    explore.add_argument("--set", action="append", default=[],
+                         dest="settings", metavar="KEY=VALUE",
+                         help="fixed base-spec overrides, as in "
+                              "'repro run'")
+    explore.add_argument("--cores", type=int, default=None,
+                         help="shorthand for --set cores=N")
+    explore.add_argument("--variant", default=None,
+                         help="base variant string (often an --axis "
+                              "instead)")
+    explore.add_argument("--seed", type=int, default=None,
+                         help="seed for both the base spec and the "
+                              "sampler's randomness")
+    explore.add_argument("--smoke", action="store_true",
+                         help="apply the workload's tiny smoke "
+                              "parameters to the base spec (CI uses "
+                              "this for the explore-smoke campaign)")
+    explore.add_argument("--out", default=None, metavar="DIR",
+                         help="campaign directory: the journal is "
+                              "written (atomically, after every batch) "
+                              "to DIR/journal.json")
+    explore.add_argument("--resume", default=None, metavar="DIR",
+                         help="resume the campaign journaled in DIR: "
+                              "journaled evaluations replay without "
+                              "re-simulating, then the search "
+                              "continues")
+    explore.add_argument("--top", type=int, default=10,
+                         help="ranking rows to print")
+    explore.add_argument("--width", type=int, default=56,
+                         help="character width of the frontier plot")
+    _add_jobs(explore)
+
+    front = sub.add_parser(
+        "frontier", help="rankings + Pareto frontier of a saved "
+                         "campaign journal")
+    front.add_argument("journal", help="journal.json file (or the "
+                                       "campaign directory holding one)")
+    front.add_argument("--top", type=int, default=10,
+                       help="ranking rows to print")
+    front.add_argument("--width", type=int, default=56,
+                       help="character width of the frontier plot")
+
+    cachep = sub.add_parser(
+        "cache", help="result-cache maintenance (stats, LRU pruning)")
+    cachep.add_argument("action", choices=("stats", "prune"),
+                        help="'stats' reports entry count and bytes; "
+                             "'prune' evicts least-recently-used "
+                             "entries beyond --max-entries")
+    cachep.add_argument("--cache-dir", required=True,
+                        help="the cache directory to inspect or prune")
+    cachep.add_argument("--max-entries", type=int, default=None,
+                        help="entry bound for 'prune' (required there)")
 
     hist = sub.add_parser("histogram",
                           help="contended histogram (Figs. 3/4 workload)")
@@ -318,6 +424,13 @@ def cmd_list(args) -> str:
                             title=f"{len(rows)} registered telemetry probes "
                                   f"(attach: repro trace <scenario> "
                                   f"--probe <name>)")
+    if args.samplers:
+        from .dse import list_samplers
+        rows = [(name, cls.description) for name, cls in list_samplers()]
+        return render_table(["sampler", "description"], rows,
+                            title=f"{len(rows)} registered search samplers "
+                                  f"(use: repro explore <scenario> "
+                                  f"--sampler <name>)")
     entries = list_workloads()
     if args.names:
         return "\n".join(name for name, _workload in entries)
@@ -357,6 +470,9 @@ def cmd_list(args) -> str:
 
 
 def cmd_sweep(args) -> str:
+    from .engine.errors import ConfigError
+    if not args.out and args.format != "json":
+        raise ConfigError(f"--format {args.format} needs --out DIR")
     axes = _parse_axes(args.axes)
     base = _build_spec(args)
     jobs, cache = _runner_options(args)
@@ -373,7 +489,25 @@ def cmd_sweep(args) -> str:
         rows.append(row)
     title = (f"sweep: {base.workload} over "
              + " x ".join(f"{key}[{len(axes[key])}]" for key in axis_keys))
-    return render_table(headers, rows, title=title)
+    out = render_table(headers, rows, title=title)
+    if args.out:
+        import os
+
+        from .eval.export import (
+            sweep_table,
+            sweep_to_dict,
+            write_csv,
+            write_json,
+        )
+        if args.format == "json":
+            path = write_json(os.path.join(args.out, "sweep.json"),
+                              sweep_to_dict(base, axes, outcomes))
+        else:
+            csv_headers, csv_rows = sweep_table(axes, outcomes)
+            path = write_csv(os.path.join(args.out, "sweep.csv"),
+                             csv_headers, csv_rows)
+        out += f"\n\nexported:\n  {path}"
+    return out
 
 
 def _make_probes(args) -> list:
@@ -434,6 +568,109 @@ def cmd_trace(args) -> str:
         # readable telemetry.
         parts.append("JSON report:\n" + report.to_json(indent=2))
     return "\n\n".join(parts)
+
+
+# -- design-space exploration --------------------------------------------------
+
+
+def cmd_explore(args) -> str:
+    import os
+
+    from .dse import (
+        Campaign,
+        SearchSpace,
+        journal_path,
+        load_journal,
+        parse_objectives,
+        render_journal,
+    )
+    from .engine.errors import ConfigError
+    if args.resume and args.out and \
+            os.path.realpath(args.resume) != os.path.realpath(args.out):
+        raise ConfigError(
+            "--resume DIR and --out DIR must agree (resume continues "
+            "the campaign in place)")
+    directory = args.out or args.resume
+    base = _build_spec(args)
+    space = SearchSpace.from_axes(_parse_axes(args.axes),
+                                  tuple(args.constraints))
+    objectives = parse_objectives(args.objectives or ["min:cycles"])
+    jobs, cache = _runner_options(args)
+    journal_file = journal_path(directory) if directory else None
+    if args.out and not args.resume and journal_file \
+            and os.path.exists(journal_file):
+        raise ConfigError(
+            f"{journal_file} already holds a campaign journal; pass "
+            f"--resume {args.out} to continue it, or choose a fresh "
+            f"--out directory (paid evaluations are never overwritten "
+            f"silently)")
+    resume_doc = None
+    if args.resume:
+        resume_file = journal_path(args.resume)
+        if not os.path.exists(resume_file):
+            raise ConfigError(
+                f"--resume {args.resume!r}: no {resume_file} to resume "
+                f"(start the campaign with --out first)")
+        resume_doc = load_journal(resume_file)
+    campaign = Campaign(
+        base=base, space=space, sampler=args.sampler,
+        objectives=objectives, budget=args.budget, seed=base.seed,
+        jobs=jobs, cache=cache, journal_file=journal_file,
+        resume=resume_doc)
+    result = campaign.run()
+    parts = [render_journal(result.journal, width=args.width,
+                            top=args.top)]
+    if journal_file:
+        parts.append(f"journal: {journal_file}")
+    if result.status == "budget":
+        if directory:
+            parts.append(f"budget exhausted after {result.paid} paid "
+                         f"evaluations; continue with "
+                         f"'repro explore ... --resume {directory}' "
+                         f"and a larger --budget")
+        else:
+            parts.append(f"budget exhausted after {result.paid} paid "
+                         f"evaluations; no journal was written — "
+                         f"re-run with --out DIR (and a larger "
+                         f"--budget) to make the campaign resumable")
+    return "\n\n".join(parts)
+
+
+def cmd_frontier(args) -> str:
+    import os
+
+    from .dse import journal_path, load_journal, render_journal
+    path = args.journal
+    if os.path.isdir(path):
+        path = journal_path(path)
+    journal = load_journal(path)
+    return render_journal(journal, width=args.width, top=args.top)
+
+
+def cmd_cache(args) -> str:
+    import os
+
+    from .engine.errors import ConfigError
+    if not os.path.isdir(args.cache_dir):
+        raise ConfigError(
+            f"no cache directory at {args.cache_dir!r}")
+    cache = ResultCache(args.cache_dir)
+    removed = None
+    if args.action == "prune":
+        if args.max_entries is None:
+            raise ConfigError("cache prune needs --max-entries N")
+        if args.max_entries < 0:
+            raise ConfigError(
+                f"--max-entries must be >= 0, got {args.max_entries}")
+        removed = cache.prune(args.max_entries)
+    stats = cache.stats()
+    rows = [("path", stats["path"]),
+            ("entries", stats["entries"]),
+            ("bytes", stats["bytes"])]
+    if removed is not None:
+        rows.append(("evicted (LRU)", removed))
+    return render_table(["field", "value"], rows,
+                        title=f"result cache {args.action}")
 
 
 # -- legacy workload shortcuts (spec shims) ------------------------------------
@@ -531,6 +768,9 @@ COMMANDS = {
     "run": cmd_run,
     "list": cmd_list,
     "sweep": cmd_sweep,
+    "explore": cmd_explore,
+    "frontier": cmd_frontier,
+    "cache": cmd_cache,
     "trace": cmd_trace,
     "histogram": cmd_histogram,
     "queue": cmd_queue,

@@ -1,0 +1,13 @@
+"""``python -m repro.dse <journal.json> [...]`` — schema validation.
+
+Thin wrapper over :func:`repro.dse.schema.main` so CI can validate
+campaign journals without tripping runpy's already-imported-module
+warning (the same arrangement as ``python -m repro.telemetry``).
+"""
+
+import sys
+
+from .schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

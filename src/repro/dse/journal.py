@@ -1,0 +1,103 @@
+"""The campaign journal: durable, resumable search state.
+
+One JSON document per campaign (``journal.json`` in the campaign
+directory) recording the campaign's full identity — base spec, search
+space, sampler, objectives, budget, seed — plus one record per
+evaluation in execution order.  The journal is rewritten atomically
+after every batch, so a killed campaign loses at most the batch in
+flight; ``repro explore --resume DIR`` replays the records instead of
+re-simulating them (see :mod:`repro.dse.campaign`).
+
+Layout is validated by :mod:`repro.dse.schema`; ``repro frontier``
+renders rankings and Pareto frontiers from the journal alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..engine.errors import ConfigError
+from .schema import SchemaError, validate_journal
+
+#: Bump when the journal layout changes incompatibly.
+JOURNAL_VERSION = 1
+
+#: File name inside a campaign directory.
+JOURNAL_NAME = "journal.json"
+
+
+def journal_path(directory: str) -> str:
+    """The journal file of a campaign directory."""
+    return os.path.join(directory, JOURNAL_NAME)
+
+
+def write_journal(path: str, document: dict) -> str:
+    """Atomically write ``document``; returns the path.
+
+    Atomic replace means a kill mid-write leaves the previous journal
+    intact — resume never sees a torn file.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_journal(path: str) -> dict:
+    """Read and schema-validate a journal file."""
+    try:
+        with open(path) as stream:
+            data = json.load(stream)
+    except OSError as exc:
+        raise ConfigError(f"cannot read journal {path!r}: {exc}")
+    except ValueError as exc:
+        raise ConfigError(f"journal {path!r} is not valid JSON: {exc}")
+    try:
+        validate_journal(data)
+    except SchemaError as exc:
+        raise ConfigError(f"journal {path!r} is malformed: {exc}")
+    return data
+
+
+def new_journal(campaign: dict) -> dict:
+    """A fresh (no evaluations yet) journal document."""
+    return {
+        "version": JOURNAL_VERSION,
+        "status": "partial",
+        "paid": 0,
+        "campaign": campaign,
+        "evaluations": [],
+        "best": None,
+        "frontier": [],
+    }
+
+
+def check_resumable(journal: dict, campaign: dict) -> None:
+    """Reject resuming under a different campaign configuration.
+
+    A journal replays deterministically only when space, sampler,
+    objectives, seed and base spec all match; resuming with anything
+    else changed would silently mix two different searches.  The one
+    deliberate exception is ``budget``: a budget-exhausted campaign is
+    *meant* to be resumed with a larger budget (replay is positional
+    and hash-checked, so a budget-sensitive custom sampler that
+    proposes differently still fails loudly rather than mixing runs).
+    """
+    if journal.get("version") != JOURNAL_VERSION:
+        raise ConfigError(
+            f"journal version {journal.get('version')!r} does not match "
+            f"this code's version {JOURNAL_VERSION}")
+    recorded = journal["campaign"]
+    for key in sorted(set(recorded) | set(campaign)):
+        if key != "budget" and recorded.get(key) != campaign.get(key):
+            raise ConfigError(
+                f"cannot resume: journal was written for {key}="
+                f"{recorded.get(key)!r}, this invocation has "
+                f"{campaign.get(key)!r} — rerun with matching options "
+                f"or start a fresh --out directory")

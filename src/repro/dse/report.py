@@ -1,0 +1,120 @@
+"""Rendering and export of campaign outcomes.
+
+Everything here works from the *journal document* alone — plain dicts,
+no live campaign state — so ``repro frontier`` renders a journal read
+back from disk exactly like ``repro explore`` renders the campaign it
+just ran.  Tables and the two-objective frontier scatter come from
+:mod:`repro.eval.reporting`, the shared ASCII layer.
+"""
+
+from __future__ import annotations
+
+from ..eval.reporting import render_frontier, render_table
+from .objectives import parse_objectives
+
+
+def comparable_records(records) -> list:
+    """The records rankings compare: full fidelity when any exist
+    (halving's smoke rungs steer the search, they don't answer it),
+    else everything.  The single definition of comparability — both
+    :class:`~repro.dse.campaign.CampaignResult` and the journal
+    renderers defer here so a live campaign and ``repro frontier``
+    can never rank the same journal differently.
+    """
+    full = [record for record in records if record["fidelity"] == "full"]
+    return full or list(records)
+
+
+def rank_records(records, objectives) -> list:
+    """Comparable records, best first by the primary objective
+    (ties broken by evaluation order)."""
+    primary = objectives[0]
+    return sorted(comparable_records(records),
+                  key=lambda record: (primary.canonical(
+                      record["objectives"][primary.metric]),
+                      record["index"]))
+
+
+def _comparable(journal: dict) -> list:
+    return comparable_records(journal["evaluations"])
+
+
+def journal_ranking(journal: dict) -> list:
+    """Comparable records, best first by the primary objective."""
+    objectives = parse_objectives(journal["campaign"]["objectives"])
+    return rank_records(journal["evaluations"], objectives)
+
+
+def journal_frontier(journal: dict) -> list:
+    """The journal's non-dominated records, in evaluation order."""
+    indices = set(journal.get("frontier", ()))
+    return [record for record in journal["evaluations"]
+            if record["index"] in indices]
+
+
+def render_journal(journal: dict, width: int = 56, top: int = 10) -> str:
+    """Full ASCII view: summary, ranking, frontier (plot when 2-D)."""
+    campaign = journal["campaign"]
+    objectives = parse_objectives(campaign["objectives"])
+    records = journal["evaluations"]
+    cached = sum(1 for record in records if record["cached"])
+    # Journal axes are ordered [key, values] pairs (declaration order
+    # survives the sorted-keys JSON writer); a dict view keeps it.
+    axes = dict(campaign["space"]["axes"])
+    summary_rows = [
+        ("workload", campaign["workload"]),
+        ("space", " x ".join(f"{key}[{len(values)}]"
+                             for key, values in axes.items())),
+        ("sampler", campaign["sampler"]["name"]),
+        ("objectives", ", ".join(campaign["objectives"])),
+        ("budget", f"{journal['paid']} paid / {campaign['budget']} "
+                   f"({cached} free of {len(records)} evaluations)"),
+        ("status", journal["status"]),
+    ]
+    parts = [render_table(["field", "value"], summary_rows,
+                          title="campaign")]
+    ranking = journal_ranking(journal)
+    parts.append(_ranking_table(ranking[:top], axes, objectives,
+                                title=f"ranking (top {min(top, len(ranking))}"
+                                      f" of {len(ranking)} comparable)"))
+    frontier = journal_frontier(journal)
+    if frontier:
+        parts.append(_ranking_table(
+            frontier, axes, objectives,
+            title=f"Pareto frontier ({len(frontier)} non-dominated)"))
+    if len(objectives) == 2 and len(_comparable(journal)) > 1:
+        parts.append(_frontier_plot(journal, objectives, width))
+    return "\n\n".join(parts)
+
+
+def _ranking_table(records: list, axes: dict, objectives: list,
+                   title: str) -> str:
+    axis_keys = list(axes)
+    headers = (["#"] + axis_keys
+               + [objective.name for objective in objectives]
+               + ["fidelity", "cost"])
+    rows = []
+    for record in records:
+        row = [record["index"]]
+        row.extend(record["overrides"].get(key, "") for key in axis_keys)
+        row.extend(record["objectives"][objective.metric]
+                   for objective in objectives)
+        row.extend([record["fidelity"],
+                    "free" if record["cached"] else "paid"])
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _frontier_plot(journal: dict, objectives: list, width: int) -> str:
+    comparable = _comparable(journal)
+    x_obj, y_obj = objectives
+    points = [(record["objectives"][x_obj.metric],
+               record["objectives"][y_obj.metric])
+              for record in comparable]
+    frontier_set = set(journal.get("frontier", ()))
+    frontier = [position for position, record in enumerate(comparable)
+                if record["index"] in frontier_set]
+    return render_frontier(
+        points, frontier, x_label=x_obj.name, y_label=y_obj.name,
+        width=width,
+        title=f"trade-off: {x_obj.name} vs {y_obj.name}")

@@ -1,0 +1,165 @@
+"""Declarative search spaces over scenario specs.
+
+A :class:`SearchSpace` names the *axes* of a design-space exploration —
+each axis is a setting key (a :class:`~repro.scenarios.spec.ScenarioSpec`
+field alias or a workload parameter, exactly the vocabulary of
+``apply_settings``/``repro sweep --axis``) with its candidate values —
+plus optional *constraints* that prune invalid combinations before any
+simulation runs.  Like specs, spaces are frozen plain data: they
+round-trip through ``to_dict``/``from_dict`` into the campaign journal,
+so a journal alone reconstructs exactly what was searched.
+
+Constraints are boolean expressions over the axis keys (plus the
+handful of arithmetic builtins below), evaluated per combination::
+
+    SearchSpace.from_axes(
+        {"bins": [1, 4, 16], "cores": [8, 16]},
+        constraints=["bins <= cores"])
+
+A combination survives only if every constraint evaluates truthy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..engine.errors import ConfigError
+from ..scenarios.spec import _freeze_value
+
+#: Names a constraint expression may use besides the axis keys.
+_CONSTRAINT_BUILTINS = {"abs": abs, "min": min, "max": max, "len": len}
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The cartesian axes and pruning constraints of one exploration.
+
+    ``axes`` is a tuple of ``(key, (value, ...))`` pairs in declaration
+    order — the order fixes the enumeration order of :meth:`points`,
+    which every deterministic sampler depends on.  ``constraints`` is a
+    tuple of expression strings.
+    """
+
+    axes: tuple
+    constraints: tuple = ()
+
+    def __post_init__(self) -> None:
+        axes = self.axes
+        if isinstance(axes, dict):
+            axes = tuple(axes.items())
+        frozen = []
+        seen = set()
+        for entry in axes:
+            if not (isinstance(entry, (tuple, list)) and len(entry) == 2):
+                raise ConfigError(
+                    f"axes entries must be (key, values) pairs, got {entry!r}")
+            key, values = entry
+            if not key or not isinstance(key, str):
+                raise ConfigError(
+                    f"axis keys must be non-empty strings, got {key!r}")
+            if key in seen:
+                raise ConfigError(f"duplicate axis {key!r}")
+            seen.add(key)
+            values = tuple(_freeze_value(v, f"axis {key!r}") for v in values)
+            if not values:
+                raise ConfigError(f"axis {key!r} has no values")
+            frozen.append((key, values))
+        if not frozen:
+            raise ConfigError("a search space needs at least one axis")
+        object.__setattr__(self, "axes", tuple(frozen))
+        constraints = self.constraints
+        if isinstance(constraints, str):
+            constraints = (constraints,)
+        for expr in constraints:
+            if not expr or not isinstance(expr, str):
+                raise ConfigError(
+                    f"constraints must be non-empty strings, got {expr!r}")
+        object.__setattr__(self, "constraints", tuple(constraints))
+
+    @classmethod
+    def from_axes(cls, axes: dict, constraints=()) -> "SearchSpace":
+        """Build from an axes dict (insertion order = axis order)."""
+        return cls(axes=tuple(axes.items()), constraints=tuple(constraints))
+
+    # -- enumeration ----------------------------------------------------------
+
+    @property
+    def keys(self) -> list:
+        """Axis keys in declaration order."""
+        return [key for key, _values in self.axes]
+
+    def grid_size(self) -> int:
+        """Size of the unconstrained cartesian grid."""
+        size = 1
+        for _key, values in self.axes:
+            size *= len(values)
+        return size
+
+    def admits(self, combo: dict) -> bool:
+        """Whether every constraint accepts this combination."""
+        for expr in self.constraints:
+            scope = dict(_CONSTRAINT_BUILTINS)
+            scope.update(combo)
+            try:
+                accepted = eval(expr, {"__builtins__": {}}, scope)  # noqa: S307
+            except Exception as exc:
+                raise ConfigError(
+                    f"constraint {expr!r} failed on {combo}: {exc}")
+            if not accepted:
+                return False
+        return True
+
+    def points(self) -> list:
+        """Every admitted combination, in deterministic grid order.
+
+        The order is the cartesian product with the *last* axis varying
+        fastest (``itertools.product`` order over the declared axes),
+        minus the combinations rejected by a constraint.
+        """
+        keys = self.keys
+        combos = []
+        for values in itertools.product(
+                *(values for _key, values in self.axes)):
+            combo = dict(zip(keys, values))
+            if self.admits(combo):
+                combos.append(combo)
+        if not combos:
+            raise ConfigError(
+                f"constraints {list(self.constraints)} prune the entire "
+                f"{self.grid_size()}-point grid; nothing to explore")
+        return combos
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        # Axes serialize as an *ordered list* of [key, values] pairs,
+        # not a mapping: the journal is written with sorted JSON keys,
+        # which would silently alphabetize a dict and change the
+        # enumeration order a round-tripped space produces.
+        return {
+            "axes": [[key, list(values)] for key, values in self.axes],
+            "constraints": list(self.constraints),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchSpace":
+        if not isinstance(data, dict) or "axes" not in data:
+            raise ConfigError(f"search-space data needs 'axes', got {data!r}")
+        unknown = sorted(set(data) - {"axes", "constraints"})
+        if unknown:
+            raise ConfigError(f"unknown search-space fields {unknown}")
+        axes = data["axes"]
+        # Pair-list form (the journal layout) or a plain dict, whose
+        # insertion order is the declaration order.
+        pairs = axes.items() if isinstance(axes, dict) else axes
+        return cls(axes=tuple(tuple(pair) for pair in pairs),
+                   constraints=tuple(data.get("constraints", ())))
+
+    def describe(self) -> str:
+        """One-line summary for titles and logs."""
+        axes = " x ".join(f"{key}[{len(values)}]"
+                          for key, values in self.axes)
+        if self.constraints:
+            axes += f" | {len(self.constraints)} constraint(s)"
+        return axes

@@ -13,9 +13,10 @@ what EXPERIMENTS.md's numbers are generated from.
 
 from __future__ import annotations
 
+import csv
 import json
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
 from .fig3 import Fig3Result, run_fig3
 from .fig4 import Fig4Result, run_fig4
@@ -106,6 +107,65 @@ def table2_to_dict(result: Table2Result) -> dict:
             "lock_over_colibri": result.ratio("Atomic Add lock"),
         },
     }
+
+
+def write_json(path: str, document: dict) -> str:
+    """Write one JSON document (sorted keys, indented); returns path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Sequence[Sequence]) -> str:
+    """Write one tidy CSV table; returns path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        writer.writerows(rows)
+    return path
+
+
+def sweep_to_dict(base_spec, axes: dict, outcomes) -> dict:
+    """Schema for ``repro sweep`` exports: one row per grid point.
+
+    ``outcomes`` is the ``[(overrides, result)]`` list
+    :func:`repro.scenarios.run.sweep` returns; each row carries the
+    point's axis values plus every scalar of its result, so the JSON is
+    plottable without re-running anything — the same contract as the
+    figure documents above.
+    """
+    return {
+        "experiment": "sweep",
+        "parameters": {
+            "workload": base_spec.workload,
+            "base_spec": base_spec.to_dict(),
+            "axes": {key: list(values) for key, values in axes.items()},
+        },
+        "rows": [dict(combo, **result.scalars())
+                 for combo, result in outcomes],
+    }
+
+
+def sweep_table(axes: dict, outcomes) -> tuple:
+    """``(headers, rows)`` for the CSV rendering of a sweep."""
+    axis_keys = list(axes)
+    scalar_keys = sorted({key for _combo, result in outcomes
+                          for key in result.scalars()})
+    headers = axis_keys + scalar_keys
+    rows = []
+    for combo, result in outcomes:
+        scalars = result.scalars()
+        rows.append([combo.get(key, "") for key in axis_keys]
+                    + [scalars.get(key, "") for key in scalar_keys])
+    return headers, rows
 
 
 def export_all(directory: str, num_cores: int = 64,

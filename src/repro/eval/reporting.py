@@ -115,6 +115,48 @@ def render_heatmap(rows: Sequence[Sequence], row_labels: Sequence[str],
     return "\n".join(lines)
 
 
+def render_frontier(points: Sequence, frontier: Sequence[int],
+                    x_label: str, y_label: str, width: int = 56,
+                    height: int = 14, title: Optional[str] = None) -> str:
+    """ASCII scatter of a two-objective trade-off.
+
+    ``points`` are ``(x, y)`` pairs; ``frontier`` the indices of the
+    non-dominated ones.  Frontier points render as ``*``, dominated
+    ones as ``o`` (frontier wins a shared cell); the value ranges are
+    annotated on the margins.  This is the terminal rendering behind
+    ``repro frontier`` and ``repro explore``.
+    """
+    points = list(points)
+    frontier = set(frontier)
+    if not points:
+        return f"{title or 'frontier'}: (no points)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1
+    y_span = (y_hi - y_lo) or 1
+    grid = [[" "] * width for _ in range(height)]
+    for index, (x, y) in enumerate(points):
+        col = min(int((x - x_lo) / x_span * (width - 1)), width - 1)
+        row = min(int((y - y_lo) / y_span * (height - 1)), height - 1)
+        row = height - 1 - row          # larger y renders higher
+        glyph = "*" if index in frontier else "o"
+        if grid[row][col] != "*":
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top {format_value(y_hi)}, "
+                 f"bottom {format_value(y_lo)})")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}: {format_value(x_lo)} .. "
+                 f"{format_value(x_hi)}   (*=frontier, o=dominated)")
+    return "\n".join(lines)
+
+
 def render_timeline(lanes: Sequence, end: int, width: int = 64,
                     glyphs: Optional[dict] = None,
                     title: Optional[str] = None) -> str:

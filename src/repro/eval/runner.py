@@ -128,18 +128,41 @@ class ResultCache:
     config edits and code edits invalidate exactly what they touch.
     ``hits``/``misses``/``stores``/``write_errors`` are exposed for
     tests and for ``--jobs`` progress reporting.
+
+    ``max_entries`` bounds the on-disk entry count with LRU-style
+    pruning: every hit refreshes its file's timestamps, and a store
+    that pushes the directory past the limit evicts the
+    least-recently-used entries — to ~5% below the bound, so the
+    directory scan amortizes over many stores — which automatically
+    clears stale-fingerprint leftovers first (they stopped being
+    touched when the sources changed).  Unbounded by default; pass a
+    bound (CLI: ``--cache-max-entries``) for cache-heavy search
+    campaigns, and manage existing directories with
+    ``repro cache prune|stats``.
     """
 
-    def __init__(self, path: str, fingerprint: Optional[str] = None) -> None:
+    def __init__(self, path: str, fingerprint: Optional[str] = None,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}")
         self.path = path
         os.makedirs(path, exist_ok=True)
         self.fingerprint = (source_fingerprint() if fingerprint is None
                             else fingerprint)
+        self.max_entries = max_entries
+        #: Lazily-initialized on-disk entry estimate; every store
+        #: counts as +1 (overwrites over-count, which only means an
+        #: occasional early re-scan), so the auto-prune scan in
+        #: :meth:`store_hash` runs only when the bound can actually be
+        #: exceeded instead of on every store.
+        self._disk_count: Optional[int] = None
         self._memory: dict = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.write_errors = 0
+        self.evictions = 0
 
     def _key(self, call: ExperimentCall) -> str:
         return self._key_for(call.config_key())
@@ -168,6 +191,7 @@ class ResultCache:
         key = self._key_for(config_hash)
         if key in self._memory:
             self.hits += 1
+            self._touch(key)
             return self._memory[key]
         try:
             with open(self._file(key), "rb") as handle:
@@ -177,7 +201,15 @@ class ResultCache:
             return default
         self._memory[key] = result
         self.hits += 1
+        self._touch(key)
         return result
+
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's LRU timestamp (best effort)."""
+        try:
+            os.utime(self._file(key))
+        except OSError:
+            pass
 
     def store(self, call: ExperimentCall, result) -> None:
         """Persist one finished point.
@@ -201,6 +233,72 @@ class ResultCache:
             self.write_errors += 1
             return
         self.stores += 1
+        if self.max_entries is not None:
+            if self._disk_count is None:
+                self._disk_count = len(self._entries())
+            else:
+                self._disk_count += 1
+            if self._disk_count > self.max_entries:
+                # Evict ~5% below the bound so a cache sitting at
+                # capacity re-scans the directory once per batch of
+                # stores instead of on every single one.
+                self.prune(self.max_entries - self.max_entries // 20)
+
+    def _entries(self) -> list:
+        """On-disk entries as ``(mtime, size, path)``, oldest first."""
+        entries = []
+        for name in os.listdir(self.path):
+            if not name.endswith(".pkl"):
+                continue
+            full = os.path.join(self.path, name)
+            try:
+                info = os.stat(full)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, full))
+        entries.sort()
+        return entries
+
+    def stats(self) -> dict:
+        """On-disk footprint plus this process's hit/miss counters."""
+        entries = self._entries()
+        return {
+            "path": self.path,
+            "entries": len(entries),
+            "bytes": sum(size for _mtime, size, _path in entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def prune(self, max_entries: Optional[int] = None) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``.
+
+        ``None`` falls back to the instance bound (a no-op when that is
+        also unset).  Returns the number of entries removed.  Eviction
+        is disk-wide — entries written under other fingerprints (or by
+        other processes) count and age out like any others.
+        """
+        limit = self.max_entries if max_entries is None else max_entries
+        if limit is None:
+            return 0
+        if limit < 0:
+            raise ValueError(f"max_entries must be >= 0, got {limit}")
+        entries = self._entries()
+        removed = 0
+        for _mtime, _size, full in entries[:max(0, len(entries) - limit)]:
+            try:
+                os.unlink(full)
+            except OSError:
+                continue
+            key = os.path.basename(full)[:-len(".pkl")]
+            self._memory.pop(key, None)
+            removed += 1
+        self.evictions += removed
+        self._disk_count = len(entries) - removed
+        return removed
 
     def clear(self) -> None:
         """Drop every cached point (memory and disk)."""
@@ -208,6 +306,7 @@ class ResultCache:
         for name in os.listdir(self.path):
             if name.endswith(".pkl"):
                 os.unlink(os.path.join(self.path, name))
+        self._disk_count = 0
 
 
 def _invoke(payload: tuple):

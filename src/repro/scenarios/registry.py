@@ -86,6 +86,13 @@ class Workload:
     spec_defaults: dict = {}
     #: Tiny overrides (spec fields or params) for CI smoke runs.
     smoke: dict = {}
+    #: Names of the extra scalar metrics this workload's ``finish``
+    #: attaches to every result (beyond the universal scalars and the
+    #: named ``METRICS`` extractors).  Declarative so consumers that
+    #: must fail fast — the DSE campaign validates objective metrics
+    #: before paying for a single simulation — can know the full
+    #: metric vocabulary without running anything.
+    extra_metrics: tuple = ()
 
     def resolve_params(self, spec) -> dict:
         """Defaults merged with the spec's overrides; rejects unknowns."""

@@ -181,8 +181,17 @@ def _execute_spec(spec: ScenarioSpec) -> ScenarioResult:
     return get_workload(spec.workload).run(spec)
 
 
-def _cache_key(spec: ScenarioSpec) -> str:
+def scenario_cache_key(spec: ScenarioSpec) -> str:
+    """The :class:`~repro.eval.runner.ResultCache` hash key of a spec.
+
+    Exposed so schedulers layered on top (the DSE campaign engine) can
+    ask "would this point be a cache hit?" — e.g. to charge zero budget
+    for it — using exactly the key :func:`run_scenarios` will use.
+    """
     return "scenario\x1f" + spec.stable_hash()
+
+
+_cache_key = scenario_cache_key
 
 
 def run_scenario(spec: ScenarioSpec, jobs: int = 1,

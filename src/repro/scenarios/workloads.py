@@ -103,6 +103,7 @@ class HistogramWorkload(Workload):
     }
     spec_defaults = {"num_cores": 32, "variant": "colibri"}
     smoke = {"cores": 8, "bins": 2, "updates_per_core": 2}
+    extra_metrics = ("pj_per_op", "sc_failures", "wait_rejections")
 
     def load(self, machine, spec: ScenarioSpec) -> LoadedWorkload:
         p = self.resolve_params(spec)
@@ -155,6 +156,7 @@ class ZipfHistogramWorkload(Workload):
     }
     spec_defaults = {"num_cores": 32, "variant": "colibri"}
     smoke = {"cores": 8, "bins": 8, "updates_per_core": 3}
+    extra_metrics = ("hot_bin_share", "pj_per_op")
 
     def load(self, machine, spec: ScenarioSpec) -> LoadedWorkload:
         p = self.resolve_params(spec)
@@ -208,6 +210,7 @@ class QueueWorkload(Workload):
     }
     spec_defaults = {"num_cores": 16, "variant": "colibri"}
     smoke = {"cores": 8, "ops_per_core": 4}
+    extra_metrics = ("jain_fairness", "fairness_band")
 
     def load(self, machine, spec: ScenarioSpec) -> LoadedWorkload:
         p = self.resolve_params(spec)
@@ -258,6 +261,7 @@ class MatmulWorkload(Workload):
     }
     spec_defaults = {"num_cores": 16, "variant": "colibri"}
     smoke = {"cores": 8, "dim": 4}
+    extra_metrics = ("macs", "workers")
 
     def load(self, machine, spec: ScenarioSpec) -> LoadedWorkload:
         p = self.resolve_params(spec)
@@ -301,6 +305,8 @@ class InterferenceWorkload(Workload):
     }
     spec_defaults = {"num_cores": 16, "variant": "lrsc"}
     smoke = {"cores": 16, "workers": 4, "matmul_dim": 4}
+    extra_metrics = ("baseline_cycles", "interfered_cycles",
+                     "relative_throughput")
 
     def run(self, spec: ScenarioSpec) -> ScenarioResult:
         p = self.resolve_params(spec)
@@ -384,6 +390,7 @@ class PipelineWorkload(Workload):
     spec_defaults = {"num_cores": 6, "cores_per_tile": 2,
                      "variant": "colibri"}
     smoke = {"items": 3}
+    extra_metrics = ("items_delivered", "stages")
 
     def load(self, machine, spec: ScenarioSpec) -> LoadedWorkload:
         p = self.resolve_params(spec)
@@ -474,6 +481,7 @@ class BarrierStormWorkload(Workload):
     spec_defaults = {"num_cores": 12, "cores_per_tile": 3,
                      "variant": "colibri"}
     smoke = {"cores": 6, "cores_per_tile": 3, "rounds": 2}
+    extra_metrics = ("rounds", "sleep_cycles")
 
     def load(self, machine, spec: ScenarioSpec) -> LoadedWorkload:
         p = self.resolve_params(spec)

@@ -1,0 +1,191 @@
+"""CLI tests for explore, frontier, cache, and list --samplers."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.dse import load_journal
+
+
+def run_cli(capsys, argv, expect_code=0):
+    code = main(argv)
+    captured = capsys.readouterr()
+    assert code == expect_code, captured.out
+    return captured.out
+
+
+SMOKE_EXPLORE = ["explore", "histogram", "--smoke",
+                 "--axis", "bins=1,4",
+                 "--axis", "variant=lrsc,colibri"]
+
+
+def test_explore_grid_end_to_end(capsys, tmp_path):
+    out_dir = str(tmp_path / "camp")
+    out = run_cli(capsys, SMOKE_EXPLORE + [
+        "--objective", "min:cycles", "--objective", "min:energy",
+        "--budget", "8", "--out", out_dir])
+    assert "campaign" in out
+    assert "ranking" in out
+    assert "Pareto frontier" in out
+    assert "trade-off" in out               # 2-objective ASCII plot
+    journal = load_journal(os.path.join(out_dir, "journal.json"))
+    assert journal["status"] == "complete"
+    assert len(journal["evaluations"]) == 4
+
+
+def test_explore_default_objective_is_cycles(capsys):
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "8"])
+    assert "min:cycles" in out
+
+
+def test_explore_budget_exhaustion_hints_resume(capsys, tmp_path):
+    out_dir = str(tmp_path / "camp")
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "2",
+                                           "--out", out_dir])
+    assert "budget exhausted" in out
+    assert "--resume" in out
+    resumed = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "8",
+                                               "--resume", out_dir])
+    assert "complete" in resumed
+    journal = load_journal(os.path.join(out_dir, "journal.json"))
+    assert journal["status"] == "complete"
+
+
+def test_explore_budget_exhaustion_without_out_suggests_journaling(
+        capsys):
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "2"])
+    assert "budget exhausted" in out
+    assert "None" not in out
+    assert "--out" in out
+
+
+def test_explore_constraint_prunes_grid(capsys):
+    out = run_cli(capsys, ["explore", "histogram", "--smoke",
+                           "--axis", "bins=1,4",
+                           "--constraint", "bins < 4",
+                           "--budget", "4"])
+    assert "bins[2]" in out
+    # only bins=1 survives the constraint
+    assert " 4  " not in out.split("ranking")[1].splitlines()[3]
+
+
+def test_explore_halving_sampler(capsys):
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--sampler", "halving",
+                                           "--budget", "20"])
+    assert "halving" in out
+    assert "smoke" in out or "full" in out
+
+
+def test_explore_errors_exit_2(capsys, tmp_path):
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "4",
+                                           "--sampler", "warp"],
+                  expect_code=2)
+    assert "no sampler registered" in out
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "4",
+                                           "--objective", "min:warp"],
+                  expect_code=2)
+    assert "warp" in out
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "4",
+                                           "--resume",
+                                           str(tmp_path / "void")],
+                  expect_code=2)
+    assert "no" in out and "resume" in out
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "4",
+                                           "--out", str(tmp_path / "a"),
+                                           "--resume",
+                                           str(tmp_path / "b")],
+                  expect_code=2)
+    assert "must agree" in out
+
+
+def test_explore_requires_budget_and_axis():
+    with pytest.raises(SystemExit):
+        main(["explore", "histogram", "--axis", "bins=1,2"])
+    with pytest.raises(SystemExit):
+        main(["explore", "histogram", "--budget", "4"])
+
+
+def test_frontier_renders_saved_journal(capsys, tmp_path):
+    out_dir = str(tmp_path / "camp")
+    run_cli(capsys, SMOKE_EXPLORE + [
+        "--objective", "min:cycles", "--objective", "max:throughput",
+        "--budget", "8", "--out", out_dir])
+    for target in (out_dir, os.path.join(out_dir, "journal.json")):
+        out = run_cli(capsys, ["frontier", target])
+        assert "Pareto frontier" in out
+        assert "ranking" in out
+
+
+def test_frontier_rejects_bad_journal(capsys, tmp_path):
+    out = run_cli(capsys, ["frontier", str(tmp_path / "nope.json")],
+                  expect_code=2)
+    assert "cannot read" in out
+    bad = tmp_path / "journal.json"
+    bad.write_text(json.dumps({"version": 1}))
+    out = run_cli(capsys, ["frontier", str(tmp_path)], expect_code=2)
+    assert "malformed" in out
+
+
+def test_explore_out_refuses_to_clobber_a_journal(capsys, tmp_path):
+    out_dir = str(tmp_path / "camp")
+    run_cli(capsys, SMOKE_EXPLORE + ["--budget", "2", "--out", out_dir])
+    before = load_journal(os.path.join(out_dir, "journal.json"))
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "2",
+                                           "--out", out_dir],
+                  expect_code=2)
+    assert "--resume" in out
+    assert load_journal(os.path.join(out_dir, "journal.json")) == before
+
+
+def test_explore_resume_accepts_equivalent_out_path(capsys, tmp_path):
+    out_dir = str(tmp_path / "camp")
+    run_cli(capsys, SMOKE_EXPLORE + ["--budget", "2", "--out", out_dir])
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--budget", "8",
+                                           "--out", out_dir,
+                                           "--resume", out_dir + "/"])
+    assert "complete" in out
+
+
+def test_explore_cache_max_entries_bounds_the_cache(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_cli(capsys, SMOKE_EXPLORE + ["--budget", "8",
+                                     "--cache-dir", cache_dir,
+                                     "--cache-max-entries", "2"])
+    out = run_cli(capsys, ["cache", "stats", "--cache-dir", cache_dir])
+    entries = [line for line in out.splitlines()
+               if line.strip().startswith("entries")]
+    assert entries and entries[0].split()[-1] == "2"
+
+
+def test_cache_stats_and_prune(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_cli(capsys, SMOKE_EXPLORE + ["--budget", "8",
+                                     "--cache-dir", cache_dir])
+    out = run_cli(capsys, ["cache", "stats", "--cache-dir", cache_dir])
+    assert "entries" in out
+    assert "4" in out
+    out = run_cli(capsys, ["cache", "prune", "--cache-dir", cache_dir,
+                           "--max-entries", "2"])
+    assert "evicted" in out
+    out = run_cli(capsys, ["cache", "stats", "--cache-dir", cache_dir])
+    assert "2" in out
+
+
+def test_cache_errors_exit_2(capsys, tmp_path):
+    out = run_cli(capsys, ["cache", "stats",
+                           "--cache-dir", str(tmp_path / "void")],
+                  expect_code=2)
+    assert "no cache directory" in out
+    made = tmp_path / "made"
+    made.mkdir()
+    out = run_cli(capsys, ["cache", "prune", "--cache-dir", str(made)],
+                  expect_code=2)
+    assert "--max-entries" in out
+
+
+def test_list_samplers(capsys):
+    out = run_cli(capsys, ["list", "--samplers"])
+    for name in ("grid", "random", "halving"):
+        assert name in out

@@ -1,0 +1,104 @@
+"""Journal persistence and schema validation."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    Campaign,
+    SearchSpace,
+    load_journal,
+    parse_objectives,
+    validate_journal,
+)
+from repro.dse.schema import SchemaError, main as schema_main
+from repro.engine.errors import ConfigError
+from repro.scenarios import default_spec
+
+
+@pytest.fixture(scope="module")
+def journal():
+    campaign = Campaign(
+        base=default_spec("histogram", num_cores=8).with_params(
+            updates_per_core=2),
+        space=SearchSpace.from_axes({"bins": [1, 2]}),
+        sampler="grid",
+        objectives=parse_objectives(["min:cycles", "max:throughput"]),
+        budget=4)
+    return campaign.run().journal
+
+
+def test_real_journal_validates(journal):
+    validate_journal(journal)
+
+
+def test_schema_rejects_missing_top_level(journal):
+    for key in ("version", "status", "paid", "campaign", "evaluations"):
+        broken = dict(journal)
+        del broken[key]
+        with pytest.raises(SchemaError, match=key):
+            validate_journal(broken)
+
+
+def test_schema_rejects_bad_status(journal):
+    broken = dict(journal, status="exploded")
+    with pytest.raises(SchemaError, match="status"):
+        validate_journal(broken)
+
+
+def test_schema_rejects_out_of_order_indices(journal):
+    broken = json.loads(json.dumps(journal))
+    broken["evaluations"][0]["index"] = 5
+    with pytest.raises(SchemaError, match="out of order"):
+        validate_journal(broken)
+
+
+def test_schema_rejects_missing_objective_value(journal):
+    broken = json.loads(json.dumps(journal))
+    del broken["evaluations"][0]["objectives"]["cycles"]
+    with pytest.raises(SchemaError, match="cycles"):
+        validate_journal(broken)
+
+
+def test_schema_rejects_bad_spec_hash_and_fidelity(journal):
+    broken = json.loads(json.dumps(journal))
+    broken["evaluations"][0]["spec_hash"] = "abc"
+    with pytest.raises(SchemaError, match="spec_hash"):
+        validate_journal(broken)
+    broken = json.loads(json.dumps(journal))
+    broken["evaluations"][0]["fidelity"] = "warp"
+    with pytest.raises(SchemaError, match="fidelity"):
+        validate_journal(broken)
+
+
+def test_schema_rejects_dangling_frontier_index(journal):
+    broken = json.loads(json.dumps(journal))
+    broken["frontier"] = [99]
+    with pytest.raises(SchemaError, match="99"):
+        validate_journal(broken)
+
+
+def test_load_journal_reports_bad_files(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ConfigError, match="cannot read"):
+        load_journal(str(missing))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigError, match="not valid JSON"):
+        load_journal(str(bad))
+    malformed = tmp_path / "malformed.json"
+    malformed.write_text("{}")
+    with pytest.raises(ConfigError, match="malformed"):
+        load_journal(str(malformed))
+
+
+def test_schema_cli_validates_and_rejects(tmp_path, journal, capsys):
+    good = tmp_path / "journal.json"
+    good.write_text(json.dumps(journal))
+    assert schema_main([str(good)]) == 0
+    assert "ok" in capsys.readouterr().out
+    bad = tmp_path / "broken.json"
+    bad.write_text(json.dumps(dict(journal, status="exploded")))
+    assert schema_main([str(bad)]) == 2
+    assert "status" in capsys.readouterr().out
+    assert schema_main([]) == 2

@@ -1,0 +1,150 @@
+"""Samplers: registry behavior and the batch-proposal protocol."""
+
+import random
+
+import pytest
+
+from repro.dse import (
+    Batch,
+    Sampler,
+    SearchSpace,
+    UnknownSamplerError,
+    create_sampler,
+    get_sampler,
+    list_samplers,
+    register_sampler,
+    unregister_sampler,
+)
+from repro.engine.errors import ConfigError
+
+SPACE = SearchSpace.from_axes({"bins": [1, 2, 4, 8],
+                               "seed": [0, 1]})
+
+
+def drive(sampler, space, budget=100, seed=0, score=None):
+    """Run the protocol with a scoring function; returns the batches."""
+    score = score or (lambda combo: combo["bins"])
+    generator = sampler.batches(space, budget, random.Random(seed))
+    batches = []
+    scores = None
+    while True:
+        try:
+            batch = generator.send(scores)
+        except StopIteration:
+            break
+        batches.append(batch)
+        scores = [score(combo) for combo in batch.combos]
+    return batches
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_builtins_are_registered():
+    names = [name for name, _cls in list_samplers()]
+    assert {"grid", "random", "halving"} <= set(names)
+
+
+def test_unknown_sampler_is_a_config_error():
+    with pytest.raises(UnknownSamplerError, match="warp"):
+        get_sampler("warp")
+
+
+def test_bad_options_name_the_sampler():
+    with pytest.raises(ConfigError, match="random"):
+        create_sampler("random", batch_size=0)
+    with pytest.raises(ConfigError, match="halving"):
+        create_sampler("halving", eta=1)
+
+
+def test_duplicate_registration_rejected_then_shadowable():
+    @register_sampler("probe_test_sampler")
+    class First(Sampler):
+        def batches(self, space, budget, rng):
+            yield Batch(space.points())
+
+    try:
+        with pytest.raises(ConfigError, match="already registered"):
+            @register_sampler("probe_test_sampler")
+            class Second(First):
+                pass
+
+        @register_sampler("probe_test_sampler", replace=True)
+        class Third(First):
+            pass
+
+        assert get_sampler("probe_test_sampler") is Third
+    finally:
+        unregister_sampler("probe_test_sampler")
+
+
+def test_batch_rejects_unknown_fidelity():
+    with pytest.raises(ConfigError, match="fidelity"):
+        Batch([{"bins": 1}], fidelity="warp")
+
+
+# -- grid ---------------------------------------------------------------------
+
+
+def test_grid_proposes_every_point_once_full_fidelity():
+    batches = drive(create_sampler("grid"), SPACE)
+    assert len(batches) == 1
+    assert batches[0].fidelity == "full"
+    assert batches[0].combos == SPACE.points()
+
+
+def test_grid_chunks_for_journal_checkpoints():
+    """Large grids split into batches so kills lose one chunk, not all."""
+    batches = drive(create_sampler("grid", batch_size=3), SPACE)
+    assert [len(b.combos) for b in batches] == [3, 3, 2]
+    flat = [c for b in batches for c in b.combos]
+    assert flat == SPACE.points()
+    assert all(b.fidelity == "full" for b in batches)
+
+
+# -- random -------------------------------------------------------------------
+
+
+def test_random_is_seed_deterministic_without_replacement():
+    one = drive(create_sampler("random", batch_size=3), SPACE, seed=7)
+    two = drive(create_sampler("random", batch_size=3), SPACE, seed=7)
+    assert [b.combos for b in one] == [b.combos for b in two]
+    flat = [tuple(sorted(c.items())) for b in one for c in b.combos]
+    assert len(flat) == len(set(flat)) == SPACE.grid_size()
+    assert all(b.fidelity == "full" for b in one)
+
+
+def test_random_seed_changes_order():
+    one = drive(create_sampler("random"), SPACE, seed=1)
+    two = drive(create_sampler("random"), SPACE, seed=2)
+    assert [b.combos for b in one] != [b.combos for b in two]
+
+
+# -- halving ------------------------------------------------------------------
+
+
+def test_halving_prunes_to_full_fidelity_finalists():
+    batches = drive(create_sampler("halving", eta=2, finalists=2), SPACE)
+    assert batches[0].fidelity == "smoke"
+    assert batches[0].combos == SPACE.points()
+    assert batches[-1].fidelity == "full"
+    assert len(batches[-1].combos) == 2
+    # Scores are combo["bins"]: the two smallest-bins combos survive,
+    # best score first (prioritized promotion).
+    assert [c["bins"] for c in batches[-1].combos] == [1, 1]
+    sizes = [len(b.combos) for b in batches]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_halving_small_space_goes_straight_to_full():
+    space = SearchSpace.from_axes({"bins": [1, 2]})
+    batches = drive(create_sampler("halving", finalists=2), space)
+    assert len(batches) == 1
+    assert batches[0].fidelity == "full"
+
+
+def test_halving_always_shrinks_even_with_large_finalists_floor():
+    space = SearchSpace.from_axes({"bins": [1, 2, 4]})
+    batches = drive(create_sampler("halving", eta=2, finalists=2), space)
+    # 3 candidates, keep max(2, ceil(3/2))=2 -> one smoke rung, done.
+    assert [len(b.combos) for b in batches] == [3, 2]

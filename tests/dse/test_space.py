@@ -1,0 +1,96 @@
+"""SearchSpace: axes, constraints, determinism, serialization."""
+
+import pytest
+
+from repro.dse import SearchSpace
+from repro.engine.errors import ConfigError
+
+
+def test_points_are_grid_order():
+    space = SearchSpace.from_axes({"bins": [1, 4], "seed": [0, 1]})
+    assert space.points() == [
+        {"bins": 1, "seed": 0}, {"bins": 1, "seed": 1},
+        {"bins": 4, "seed": 0}, {"bins": 4, "seed": 1},
+    ]
+    assert space.grid_size() == 4
+    assert space.keys == ["bins", "seed"]
+
+
+def test_axis_order_is_declaration_order():
+    forward = SearchSpace.from_axes({"a": [0, 1], "b": [0, 1]})
+    backward = SearchSpace.from_axes({"b": [0, 1], "a": [0, 1]})
+    assert forward.points() != backward.points()
+
+
+def test_constraints_prune_combinations():
+    space = SearchSpace.from_axes(
+        {"bins": [1, 4, 16], "cores": [4, 8]},
+        constraints=["bins <= cores"])
+    combos = space.points()
+    assert {"bins": 16, "cores": 8} not in combos
+    assert {"bins": 4, "cores": 4} in combos
+    assert all(combo["bins"] <= combo["cores"] for combo in combos)
+
+
+def test_constraint_may_use_builtins():
+    space = SearchSpace.from_axes(
+        {"bins": [1, 4], "cores": [4, 8]},
+        constraints=["min(bins, cores) >= 4"])
+    assert space.points() == [{"bins": 4, "cores": 4},
+                              {"bins": 4, "cores": 8}]
+
+
+def test_constraint_pruning_everything_is_an_error():
+    space = SearchSpace.from_axes({"bins": [1, 2]},
+                                  constraints=["bins > 100"])
+    with pytest.raises(ConfigError, match="prune the entire"):
+        space.points()
+
+
+def test_bad_constraint_reports_expression():
+    space = SearchSpace.from_axes({"bins": [1]},
+                                  constraints=["nonsense + 1"])
+    with pytest.raises(ConfigError, match="nonsense"):
+        space.points()
+
+
+def test_rejects_empty_axes_and_duplicates():
+    with pytest.raises(ConfigError, match="at least one axis"):
+        SearchSpace.from_axes({})
+    with pytest.raises(ConfigError, match="no values"):
+        SearchSpace.from_axes({"bins": []})
+    with pytest.raises(ConfigError, match="duplicate"):
+        SearchSpace(axes=(("bins", (1,)), ("bins", (2,))))
+
+
+def test_round_trips_through_dict():
+    space = SearchSpace.from_axes(
+        {"bins": [1, 4], "variant": ["lrsc", "colibri"]},
+        constraints=["bins < 16"])
+    clone = SearchSpace.from_dict(space.to_dict())
+    assert clone == space
+    assert clone.points() == space.points()
+
+
+def test_axis_order_survives_sorted_json():
+    """The journal is written with sort_keys=True; axis declaration
+    order (which fixes the enumeration order) must survive anyway."""
+    import json
+    space = SearchSpace.from_axes({"variant": ["lrsc", "colibri"],
+                                   "bins": [1, 4]})
+    dumped = json.loads(json.dumps(space.to_dict(), sort_keys=True))
+    clone = SearchSpace.from_dict(dumped)
+    assert clone.keys == ["variant", "bins"]
+    assert clone.points() == space.points()
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigError, match="unknown"):
+        SearchSpace.from_dict({"axes": {"bins": [1]}, "bogus": 1})
+
+
+def test_describe_names_axes():
+    space = SearchSpace.from_axes({"bins": [1, 4, 16]},
+                                  constraints=["bins > 0"])
+    assert "bins[3]" in space.describe()
+    assert "constraint" in space.describe()

@@ -96,6 +96,43 @@ def test_sweep_requires_axis():
         main(["sweep", "histogram"])
 
 
+def test_sweep_exports_json(capsys, tmp_path):
+    import json
+    out = run_cli(capsys, ["sweep", "histogram", "--cores", "8",
+                           "--set", "updates_per_core=2",
+                           "--axis", "bins=1,4",
+                           "--out", str(tmp_path)])
+    assert "exported" in out
+    with open(tmp_path / "sweep.json") as stream:
+        document = json.load(stream)
+    assert document["experiment"] == "sweep"
+    assert document["parameters"]["workload"] == "histogram"
+    assert document["parameters"]["axes"] == {"bins": [1, 4]}
+    assert len(document["rows"]) == 2
+    assert {row["bins"] for row in document["rows"]} == {1, 4}
+    assert all("cycles" in row and "throughput" in row
+               for row in document["rows"])
+
+
+def test_sweep_exports_csv(capsys, tmp_path):
+    import csv
+    run_cli(capsys, ["sweep", "histogram", "--cores", "8",
+                     "--set", "updates_per_core=2",
+                     "--axis", "bins=1,4",
+                     "--out", str(tmp_path), "--format", "csv"])
+    with open(tmp_path / "sweep.csv", newline="") as stream:
+        rows = list(csv.reader(stream))
+    assert rows[0][0] == "bins"
+    assert "cycles" in rows[0]
+    assert len(rows) == 3                    # header + 2 points
+
+
+def test_sweep_format_needs_out(capsys):
+    out = run_cli(capsys, ["sweep", "histogram", "--axis", "bins=1",
+                           "--format", "csv"], expect_code=2)
+    assert "--out" in out
+
+
 def test_run_variant_flag_uses_spec_grammar(capsys):
     out = run_cli(capsys, ["run", "histogram", "--smoke",
                            "--variant", "lrscwait:half"])

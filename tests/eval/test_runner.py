@@ -168,6 +168,77 @@ def test_parallel_run_populates_cache(tmp_path):
     assert rerun.hits == 2
 
 
+# -- size management (LRU pruning) --------------------------------------------
+
+
+def test_max_entries_bounds_the_store(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="t", max_entries=2)
+    for hash_key, value in (("a", 1), ("b", 2), ("c", 3)):
+        cache.store_hash(hash_key, value)
+    assert cache.stats()["entries"] == 2
+    assert cache.evictions == 1
+
+
+def test_prune_evicts_least_recently_used(tmp_path):
+    import os
+    cache = ResultCache(str(tmp_path), fingerprint="t")
+    for offset, hash_key in enumerate(("a", "b", "c")):
+        cache.store_hash(hash_key, hash_key)
+        # Spread mtimes coarsely: filesystem timestamp granularity
+        # would otherwise make the LRU order a coin flip.
+        os.utime(cache._file(cache._key_for(hash_key)),
+                 (offset, offset))
+    # A hit on the oldest entry refreshes it, demoting "b".
+    assert cache.lookup_hash("a") == "a"
+    assert cache.prune(2) == 1
+    miss = object()
+    fresh = ResultCache(str(tmp_path), fingerprint="t")
+    assert fresh.lookup_hash("b", miss) is miss
+    assert fresh.lookup_hash("a") == "a"
+    assert fresh.lookup_hash("c") == "c"
+
+
+def test_prune_without_limit_is_a_noop(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="t")
+    cache.store_hash("a", 1)
+    assert cache.prune() == 0
+    assert cache.stats()["entries"] == 1
+
+
+def test_pruned_entries_leave_memory_too(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="t")
+    cache.store_hash("a", 1)
+    cache.prune(0)
+    miss = object()
+    assert cache.lookup_hash("a", miss) is miss
+
+
+def test_stats_reports_footprint(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="t", max_entries=8)
+    cache.store_hash("a", list(range(100)))
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["max_entries"] == 8
+    assert stats["stores"] == 1
+
+
+def test_max_entries_rejects_nonpositive(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(str(tmp_path), fingerprint="t", max_entries=0)
+
+
+def test_auto_prune_evicts_with_slack_for_amortization(tmp_path):
+    """At capacity, eviction overshoots by ~5% so the directory scan
+    does not repeat on every store."""
+    cache = ResultCache(str(tmp_path), fingerprint="t", max_entries=40)
+    for index in range(41):
+        cache.store_hash(f"k{index}", index)
+    # Evicted down to 40 - 40//20 = 38, never above the bound.
+    assert cache.stats()["entries"] == 38
+    assert cache.evictions == 3
+
+
 # -- CLI plumbing -------------------------------------------------------------
 
 def test_cli_parses_jobs_flag():

@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_top_level_exports():
@@ -37,6 +37,7 @@ def test_subpackage_exports_resolve():
     import repro.algorithms
     import repro.arch
     import repro.cores
+    import repro.dse
     import repro.engine
     import repro.eval
     import repro.interconnect
@@ -48,7 +49,7 @@ def test_subpackage_exports_resolve():
     import repro.workloads
 
     for module in (repro.algorithms, repro.arch, repro.cores,
-                   repro.engine, repro.eval, repro.interconnect,
+                   repro.dse, repro.engine, repro.eval, repro.interconnect,
                    repro.memory, repro.power, repro.scenarios,
                    repro.sync, repro.telemetry, repro.workloads):
         for name in module.__all__:
