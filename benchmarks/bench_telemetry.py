@@ -18,27 +18,9 @@ correctness checks, but skip the noisy comparison — see
 ``benchmarks/common.py`` on why CI never compares timings).
 """
 
-import json
-import os
-
 from repro import Machine, SystemConfig, VariantSpec
 
-from common import report
-
-#: Same-machine noise allowance for the disabled-probes comparison.
-NOISE_FACTOR = 1.35
-
-_BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
-                           "BENCH_engine.json")
-
-
-def _baseline_median(bench_name: str, label: str = "PR1-fast-path") -> float:
-    with open(_BENCH_JSON) as stream:
-        data = json.load(stream)
-    for entry in data["entries"]:
-        if entry["label"] == label:
-            return entry["benchmarks"][bench_name]["median"]
-    raise AssertionError(f"no {label!r} entry in BENCH_engine.json")
+from common import NOISE_FACTOR, baseline_median, report
 
 
 def _run_histogram(probes=()):
@@ -72,7 +54,7 @@ def test_probes_disabled_within_pr1_noise(benchmark):
     if not benchmark.enabled:
         return  # --benchmark-disable: correctness-only execution
     median = benchmark.stats.stats.median
-    baseline = _baseline_median("test_end_to_end_histogram_sim")
+    baseline = baseline_median("test_end_to_end_histogram_sim")
     benchmark.extra_info["pr1_fast_path_median_s"] = baseline
     benchmark.extra_info["ratio_vs_pr1"] = median / baseline
     assert median <= baseline * NOISE_FACTOR, (

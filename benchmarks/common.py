@@ -33,6 +33,9 @@ are too noisy for them.
 
 from __future__ import annotations
 
+import json
+import os
+
 #: Default CI scale for simulation benchmarks.
 BENCH_CORES = 32
 #: Bin sweep used by the histogram benches at CI scale.
@@ -53,3 +56,20 @@ def report(benchmark, rendered: str, **extra) -> None:
     print("\n" + rendered)
     for key, value in extra.items():
         benchmark.extra_info[key] = value
+
+
+#: Same-machine noise allowance for baseline comparisons.
+NOISE_FACTOR = 1.35
+
+_BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_engine.json")
+
+
+def baseline_median(bench_name: str, label: str = "PR1-fast-path") -> float:
+    """A recorded median from ``BENCH_engine.json`` (see protocol above)."""
+    with open(_BENCH_JSON) as stream:
+        data = json.load(stream)
+    for entry in data["entries"]:
+        if entry["label"] == label:
+            return entry["benchmarks"][bench_name]["median"]
+    raise AssertionError(f"no {label!r} entry in BENCH_engine.json")

@@ -8,10 +8,15 @@ The package provides:
 
 * a behavioural, cycle-approximate discrete-event simulator of a
   MemPool-like manycore system (:class:`~repro.machine.Machine`);
-* the full family of atomic-unit variants the paper evaluates —
-  plain AMOs, MemPool's single-slot LR/SC, centralized
-  LRSCwait\\ :sub:`q`, and the distributed **Colibri** queue with
-  Mwait (:class:`~repro.memory.variants.VariantSpec`);
+* an **open atomic-variant registry** (:mod:`repro.memory.variants`):
+  the full family the paper evaluates — plain AMOs, MemPool's
+  single-slot LR/SC, centralized LRSCwait\\ :sub:`q`, and the
+  distributed **Colibri** queue with Mwait — as registered
+  :class:`~repro.memory.variants.AtomicVariant` plugins with typed
+  parameter schemas, adapter factories and area/energy cost-model
+  hooks; user hardware designs register the same way
+  (:func:`register_variant`) and flow through every CLI, table and
+  design-space campaign;
 * a software synchronization library running on the simulated cores
   (spin locks, LRSC lock, Colibri lock, Mwait-based MCS lock, barrier);
 * concurrent algorithms (histogram, MCS queue, matmul workers) and the
@@ -56,7 +61,15 @@ from .engine.trace import Tracer
 from .engine.vcd import write_vcd
 from .interconnect.messages import Op, Status
 from .machine import Machine
-from .memory.variants import VariantSpec
+from .memory.variants import (
+    AtomicVariant,
+    UnknownVariantError,
+    VariantParam,
+    VariantSpec,
+    get_variant,
+    list_variants,
+    register_variant,
+)
 from .scenarios import (
     ScenarioSpec,
     Workload,
@@ -74,7 +87,7 @@ from .telemetry import (
     register_probe,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "LatencyConfig",
@@ -91,7 +104,13 @@ __all__ = [
     "Op",
     "Status",
     "Machine",
+    "AtomicVariant",
+    "UnknownVariantError",
+    "VariantParam",
     "VariantSpec",
+    "get_variant",
+    "list_variants",
+    "register_variant",
     "ScenarioSpec",
     "Workload",
     "build_machine",

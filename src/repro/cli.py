@@ -7,7 +7,8 @@ diagnostics without writing a kernel:
   (``repro run histogram --set bins=4 --cores 16``);
 * ``list`` — the scenario registry with tunable parameters and their
   defaults (``--long`` for the full per-workload detail, ``--probes``
-  for the telemetry probe registry);
+  for the telemetry probe registry, ``--variants`` for the
+  atomic-memory variant registry with its area cost model);
 * ``sweep`` — a cartesian sweep over spec/param axes
   (``repro sweep histogram --axis bins=1,4,16``), exportable with
   ``--out DIR --format json|csv``;
@@ -185,7 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("list", help="registered scenarios and probes")
     lst.add_argument("--names", action="store_true",
-                     help="names only, one per line (for scripting)")
+                     help="names only, one per line (for scripting; "
+                          "combines with --variants)")
     lst.add_argument("--long", action="store_true",
                      help="full per-scenario detail: every tunable "
                           "parameter with its default, spec-level "
@@ -196,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     lst.add_argument("--samplers", action="store_true",
                      help="list registered search samplers instead "
                           "(for 'repro explore --sampler')")
+    lst.add_argument("--variants", action="store_true",
+                     help="list registered atomic-memory variants "
+                          "instead: parameters, native method, and "
+                          "modeled per-core area overhead (for "
+                          "--variant / --set variant=...)")
 
     trace = sub.add_parser(
         "trace", help="run one scenario with telemetry probes attached")
@@ -418,6 +425,41 @@ def cmd_run(args) -> str:
 
 def cmd_list(args) -> str:
     from .telemetry import list_probes
+    if args.variants:
+        from .memory.variants import VariantSpec, list_variants
+        from .power.area import TILE_CORES, variant_overhead_kge
+        entries = list_variants()
+        if args.names:
+            # One *runnable* string per line: variants whose schema
+            # requires an argument (lrscwait) get their example value,
+            # so `for v in $(repro list --variants --names)` can feed
+            # `repro run --set variant=$v` directly (the CI smoke loop).
+            lines = []
+            for name, plugin in entries:
+                required = {key: schema.listing_value()
+                            for key, schema in plugin.params.items()
+                            if schema.required}
+                lines.append(plugin.string(plugin.fill_defaults(required))
+                             if required else name)
+            return "\n".join(lines)
+        reference_cores = 256                # the paper's full scale
+        rows = []
+        for name, plugin in entries:
+            params = ", ".join(
+                f"{key}={schema.listing_value()}"
+                for key, schema in sorted(plugin.params.items()))
+            variant = VariantSpec(name, params=plugin.listing_params())
+            per_core = (variant_overhead_kge(variant, reference_cores)
+                        / TILE_CORES)
+            rows.append((name, plugin.description, params or "(none)",
+                         plugin.native_method, f"{per_core:.2f}"))
+        return render_table(
+            ["variant", "description", "params (defaults)", "native",
+             f"kGE/core @{reference_cores}"],
+            rows,
+            title=f"{len(rows)} registered atomic-memory variants "
+                  f"(use: repro run <scenario> --variant "
+                  f"<name[:params]>)")
     if args.probes:
         rows = [(name, cls.description) for name, cls in list_probes()]
         return render_table(["probe", "description"], rows,
@@ -740,7 +782,9 @@ def spec_method(variant_text: str, num_cores: int) -> str:
 
 
 def cmd_area(_args) -> str:
-    return run_table1().render() + "\n\n" + scaling_table()
+    from .eval.table1 import variant_area_table
+    return (run_table1().render() + "\n\n" + scaling_table()
+            + "\n\n" + variant_area_table())
 
 
 def cmd_energy(args) -> str:

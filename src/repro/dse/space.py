@@ -2,10 +2,11 @@
 
 A :class:`SearchSpace` names the *axes* of a design-space exploration —
 each axis is a setting key (a :class:`~repro.scenarios.spec.ScenarioSpec`
-field alias or a workload parameter, exactly the vocabulary of
-``apply_settings``/``repro sweep --axis``) with its candidate values —
-plus optional *constraints* that prune invalid combinations before any
-simulation runs.  Like specs, spaces are frozen plain data: they
+field alias, a workload parameter, or a ``variant.<param>`` key ranging
+over one parameter of any registered atomic variant — exactly the
+vocabulary of ``apply_settings``/``repro sweep --axis``) with its
+candidate values — plus optional *constraints* that prune invalid
+combinations before any simulation runs.  Like specs, spaces are frozen plain data: they
 round-trip through ``to_dict``/``from_dict`` into the campaign journal,
 so a journal alone reconstructs exactly what was searched.
 
@@ -97,10 +98,19 @@ class SearchSpace:
         return size
 
     def admits(self, combo: dict) -> bool:
-        """Whether every constraint accepts this combination."""
+        """Whether every constraint accepts this combination.
+
+        Dotted axis keys (the ``variant.<param>`` axes that range over
+        a registered variant's parameters) are exposed to constraint
+        expressions with the dots replaced by underscores, since
+        ``variant.queue_slots`` is not a Python name — write
+        ``variant_queue_slots <= cores``.
+        """
         for expr in self.constraints:
             scope = dict(_CONSTRAINT_BUILTINS)
             scope.update(combo)
+            scope.update({key.replace(".", "_"): value
+                          for key, value in combo.items() if "." in key})
             try:
                 accepted = eval(expr, {"__builtins__": {}}, scope)  # noqa: S307
             except Exception as exc:

@@ -119,6 +119,10 @@ class SimStats:
     network: NetworkStats = field(default_factory=NetworkStats)
     #: Final simulated cycle at which the run terminated.
     cycles: int = 0
+    #: The :class:`~repro.memory.variants.VariantSpec` of the machine
+    #: that produced this run (set by :class:`~repro.machine.Machine`);
+    #: lets the energy model apply the variant's registered cost hook.
+    variant: object = None
 
     # -- aggregate helpers -------------------------------------------------
 

@@ -19,7 +19,7 @@ from typing import Optional
 
 from ..memory.variants import VariantSpec
 from ..scenarios.run import run_scenario, run_spec_grid
-from ..scenarios.spec import ScenarioSpec, variant_string
+from ..scenarios.spec import ScenarioSpec, parse_variant, variant_string
 from .points import HistogramPoint
 
 __all__ = [
@@ -31,10 +31,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SeriesSpec:
-    """One legend entry: hardware variant + software update scheme."""
+    """One legend entry: hardware variant + software update scheme.
+
+    ``variant_kind`` names any registered atomic variant — the paper's
+    legends use the four of Fig. 1, but a user-registered variant makes
+    a series the same way (``SeriesSpec("Ticket", "ticket", "wait")``).
+    """
 
     label: str
-    variant_kind: str          # "amo" | "lrsc" | "lrscwait" | "colibri"
+    variant_kind: str          # any registered variant name
     method: str                # "amo" | "lrsc" | "wait" | "lock"
     lock: Optional[str] = None  # "amo" | "lrsc" | "colibri" | "mcs"
     #: For lrscwait: queue slots; None = ideal, "half" = num_cores // 2.
@@ -42,18 +47,11 @@ class SeriesSpec:
 
     def variant(self, num_cores: int) -> VariantSpec:
         """Materialize the hardware variant for a system size."""
-        if self.variant_kind == "lrscwait":
-            slots = self.queue_slots
-            if slots == "half":
-                slots = max(1, num_cores // 2)
-            if slots is None:
-                return VariantSpec.lrscwait_ideal()
-            return VariantSpec.lrscwait(int(slots))
-        if self.variant_kind == "colibri":
-            return VariantSpec.colibri()
-        if self.variant_kind == "lrsc":
-            return VariantSpec.lrsc()
-        return VariantSpec.amo()
+        text = self.variant_kind
+        if text == "lrscwait":
+            slots = "ideal" if self.queue_slots is None else self.queue_slots
+            text = f"lrscwait:{slots}"
+        return parse_variant(text, num_cores)
 
     def lock_class(self):
         """The lock implementation for ``method == "lock"`` series."""

@@ -10,13 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..memory.variants import VariantSpec, list_variants
 from ..power.area import (
     PAPER_TABLE1,
+    TILE_BASE_KGE,
+    TILE_CORES,
     base_tile,
     colibri_tile,
     lrscwait_tile,
     system_overhead_kge,
     table1_rows,
+    variant_overhead_kge,
 )
 from .reporting import render_table
 
@@ -51,6 +55,37 @@ def run_table1() -> Table1Result:
         rows.append((tile.label, round(tile.kge, 1),
                      round(tile.percent, 1), paper_kge, paper_pct))
     return Table1Result(rows=rows)
+
+
+def variant_area_rows(num_cores: int = 256) -> list:
+    """One area row per *registered* variant, at representative params.
+
+    Registered through the open variant API, every plugin's
+    ``tile_area_kge`` cost-model hook lands here — user variants appear
+    automatically.  Rows: ``(name, label, per-tile added kGE, per-core
+    added kGE, tile area %)`` at a system scale of ``num_cores``.
+    """
+    rows = []
+    for name, plugin in list_variants():
+        variant = VariantSpec(name, params=plugin.listing_params())
+        overhead = variant_overhead_kge(variant, num_cores)
+        rows.append((
+            name,
+            variant.materialize(num_cores).label(),
+            round(overhead, 1),
+            round(overhead / TILE_CORES, 2),
+            round(100.0 * (TILE_BASE_KGE + overhead) / TILE_BASE_KGE, 1),
+        ))
+    return rows
+
+
+def variant_area_table(num_cores: int = 256) -> str:
+    """The registry-wide area accounting as a rendered table."""
+    return render_table(
+        ["variant", "label", "tile +kGE", "kGE/core", "tile %"],
+        variant_area_rows(num_cores),
+        title=(f"Registered variants — modeled tile area overhead "
+               f"@ {num_cores} cores"))
 
 
 def scaling_table(core_counts=(16, 64, 256, 1024)) -> str:

@@ -46,13 +46,16 @@ class Table2Result:
         return by_label[label][2] / by_label["Colibri"][2]
 
     def render(self) -> str:
-        """Table II with paper reference columns."""
+        """Table II with paper reference columns (blank for rows the
+        paper does not report, e.g. user-registered variant series)."""
         merged = []
         for label, power, pj, delta in self.rows:
-            paper_power, paper_pj, paper_delta = PAPER_TABLE2[label]
+            paper_power, paper_pj, paper_delta = PAPER_TABLE2.get(
+                label, ("-", "-", None))
             merged.append((label, round(power, 1), round(pj, 1),
                            f"{delta:+.0f}%", paper_power, paper_pj,
-                           f"{paper_delta:+d}%"))
+                           "-" if paper_delta is None
+                           else f"{paper_delta:+d}%"))
         return render_table(
             ["Atomic access", "mW", "pJ/op", "delta",
              "paper mW", "paper pJ/op", "paper delta"],
@@ -62,28 +65,43 @@ class Table2Result:
 
 
 def table2_specs(num_cores: int = 64, updates_per_core: int = 8,
-                 seed: int = 0) -> list:
-    """The four scenario specs behind Table II's rows."""
-    return [histogram_spec(series, num_cores, 1, updates_per_core,
+                 seed: int = 0, series=None) -> list:
+    """The scenario specs behind Table II's rows (default: the paper's
+    four; pass extra :class:`~repro.eval.harness.SeriesSpec` rows to
+    measure registered variants alongside them)."""
+    return [histogram_spec(entry, num_cores, 1, updates_per_core,
                            seed=seed)
-            for series in TABLE2_SERIES]
+            for entry in (TABLE2_SERIES if series is None else series)]
 
 
 def run_table2(num_cores: int = 64, updates_per_core: int = 8,
-               seed: int = 0, jobs: int = 1, cache=None) -> Table2Result:
+               seed: int = 0, jobs: int = 1, cache=None,
+               series=None) -> Table2Result:
     """Regenerate Table II at the given scale (histogram, 1 bin).
 
     Rows are independent scenario specs; ``jobs``/``cache`` shard and
-    memoize them (see :mod:`repro.scenarios.run`).
+    memoize them (see :mod:`repro.scenarios.run`).  ``series`` widens
+    the row set beyond the paper's four — any registered variant's
+    series renders with blank paper-reference columns — but must keep
+    a ``"Colibri"`` row, the Δ baseline.
     """
-    specs: list = table2_specs(num_cores, updates_per_core, seed=seed)
+    if series is None:
+        series = TABLE2_SERIES
+    specs: list = table2_specs(num_cores, updates_per_core, seed=seed,
+                               series=series)
     results = run_scenarios(specs, jobs=jobs, cache=cache)
     raw = []
-    for series, result in zip(TABLE2_SERIES, results):
+    for entry, result in zip(series, results):
         point = result.point
-        raw.append((series.label, point.energy.power_mw(),
+        raw.append((entry.label, point.energy.power_mw(),
                     point.pj_per_op))
-    colibri_pj = next(pj for label, _p, pj in raw if label == "Colibri")
+    colibri_pj = next((pj for label, _p, pj in raw if label == "Colibri"),
+                      None)
+    if colibri_pj is None:
+        from ..engine.errors import ConfigError
+        raise ConfigError(
+            "run_table2 needs a 'Colibri' series row — it is the Δ "
+            "column's baseline; include it in the custom series list")
     rows = [(label, power, pj, 100.0 * (pj - colibri_pj) / colibri_pj)
             for label, power, pj in raw]
     return Table2Result(num_cores=num_cores, rows=rows)

@@ -72,7 +72,8 @@ class Machine:
         self.stats = SimStats(
             cores=[CoreStats(core_id=i) for i in range(config.num_cores)],
             banks=[BankStats(bank_id=i) for i in range(config.num_banks)],
-            network=NetworkStats())
+            network=NetworkStats(),
+            variant=variant)
         self.network = Network(self.sim, self.topology, self.stats.network)
         self.banks = [
             BankController(bank_id, self.sim, self.network, self.address_map,

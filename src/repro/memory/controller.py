@@ -24,35 +24,19 @@ from ..interconnect.messages import (
     WakeUpRequest,
 )
 from ..interconnect.network import Network
-from .adapter import AmoAdapter, AtomicAdapter
+from .adapter import AtomicAdapter
 from .bank import SpmBank
-from .colibri import ColibriAdapter
-from .lrsc import LrscAdapter
-from .lrsc_variants import LrscBankAdapter, LrscTableAdapter
-from .lrscwait import LrscWaitAdapter
-from .variants import VariantSpec
+from .variants import VariantSpec, get_variant
 
 
 def build_adapter(controller: "BankController", variant: VariantSpec,
                   num_cores: int, strict: bool) -> AtomicAdapter:
-    """Instantiate the adapter matching a :class:`VariantSpec`."""
-    if variant.kind == "amo":
-        return AmoAdapter(controller)
-    if variant.kind == "lrsc":
-        return LrscAdapter(controller)
-    if variant.kind == "lrsc_table":
-        return LrscTableAdapter(controller)
-    if variant.kind == "lrsc_bank":
-        return LrscBankAdapter(controller)
-    if variant.kind == "lrscwait":
-        slots = variant.queue_slots
-        if slots is None:
-            slots = num_cores  # ideal: one slot per core can never fill
-        return LrscWaitAdapter(controller, queue_slots=slots, strict=strict)
-    if variant.kind == "colibri":
-        return ColibriAdapter(controller, num_addresses=variant.num_addresses,
-                              strict=strict)
-    raise AssertionError(f"unhandled variant {variant.kind}")
+    """Instantiate the adapter for a :class:`VariantSpec` through the
+    variant registry: symbolic parameters (``half``/``cores``/``ideal``)
+    resolve against ``num_cores`` here, at machine-build time."""
+    plugin = get_variant(variant.kind)
+    return plugin.make_adapter(controller, variant.resolved(num_cores),
+                               num_cores, strict)
 
 
 class BankController:

@@ -18,6 +18,13 @@ so the benchmark suite can compare the whole design space:
 
 Both still retry on failure — they address reservation *storage*, not
 the polling/retry problem LRSCwait solves.
+
+This module holds only the adapter state machines; their registration
+(parameter schema, capability flags, area cost models) lives with the
+other built-ins in :mod:`repro.memory.variants`, and further §II-style
+comparators can be added without touching either file — see
+:mod:`repro.memory.extra_variants` for two variants registered purely
+through the public API.
 """
 
 from __future__ import annotations

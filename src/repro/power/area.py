@@ -42,6 +42,14 @@ LRSCWAIT_SLOT_KGE = 0.67
 COLIBRI_FIXED_KGE = 34.6
 COLIBRI_PER_BANK_ADDRESS_KGE = 0.594
 
+#: Estimated (not fitted — no published synthesis) per-bank costs of
+#: the §II baseline/related-work reservation storage, used by their
+#: registered cost-model hooks: MemPool's single slot, one ATUN table
+#: entry (address-wide, per core), one GRVI reservation bit (per core).
+LRSC_SLOT_KGE = 0.3
+LRSC_TABLE_ENTRY_KGE = 0.45
+LRSC_BANK_BIT_KGE = 0.012
+
 #: Published Table I (architecture label -> (area kGE, area %)).
 PAPER_TABLE1 = {
     "MemPool tile": (691, 100.0),
@@ -92,26 +100,55 @@ def colibri_tile(num_addresses: int, banks: int = TILE_BANKS) -> TileArea:
                     TILE_BASE_KGE + extra)
 
 
+def variant_overhead_kge(variant, num_cores: int,
+                         banks: int = TILE_BANKS,
+                         cores: int = TILE_CORES) -> float:
+    """Per-tile added kGE of a :class:`~repro.memory.variants.
+    VariantSpec`, through its registered plugin's cost-model hook.
+
+    ``num_cores`` is the *system* core count: reservation storage that
+    scales with it (per-core tables, the ideal queue) is what the
+    §III-A scaling argument quantifies.
+    """
+    from ..memory.variants import get_variant
+    plugin = get_variant(variant.kind)
+    return plugin.tile_area_kge(variant.resolved(num_cores), num_cores,
+                                banks=banks, cores=cores)
+
+
+#: Legacy ``system_overhead_kge`` kind spellings -> variant parameters.
+_LEGACY_KINDS = {
+    "lrscwait_ideal": ("lrscwait", "queue_slots", None),
+    "lrscwait": ("lrscwait", "queue_slots", "queue_slots"),
+    "colibri": ("colibri", "num_addresses", "num_addresses"),
+}
+
+
 def system_overhead_kge(num_cores: int, kind: str,
                         queue_slots: int = 8,
                         num_addresses: int = 4) -> float:
     """Total added kGE for a whole system of ``num_cores`` (scaling
     curves for the §III-A argument; 4 cores and 16 banks per tile).
 
-    ``kind``: ``"lrscwait_ideal"`` sizes every bank's queue for all
-    cores (the O(n²) design), ``"lrscwait"`` uses fixed ``queue_slots``,
-    ``"colibri"`` uses ``num_addresses`` head/tail pairs per bank.
+    ``kind`` names any registered variant, evaluated at its default
+    parameters, plus the legacy spellings: ``"lrscwait_ideal"`` sizes
+    every bank's queue for all cores (the O(n²) design), ``"lrscwait"``
+    uses fixed ``queue_slots``, ``"colibri"`` uses ``num_addresses``
+    head/tail pairs per bank.  Unknown kinds raise
+    :class:`~repro.memory.variants.UnknownVariantError` (a
+    :class:`~repro.engine.errors.ConfigError`), so CLI paths exit 2
+    like every other bad-input error.
     """
-    tiles = num_cores // TILE_CORES
-    if kind == "lrscwait_ideal":
-        per_tile = lrscwait_tile(num_cores).kge - TILE_BASE_KGE
-    elif kind == "lrscwait":
-        per_tile = lrscwait_tile(queue_slots).kge - TILE_BASE_KGE
-    elif kind == "colibri":
-        per_tile = colibri_tile(num_addresses).kge - TILE_BASE_KGE
+    from ..memory.variants import VariantSpec
+    arguments = {"queue_slots": queue_slots, "num_addresses": num_addresses}
+    if kind in _LEGACY_KINDS:
+        name, param, source = _LEGACY_KINDS[kind]
+        value = None if source is None else arguments[source]
+        variant = VariantSpec(name, **{param: value})
     else:
-        raise ValueError(f"unknown kind {kind!r}")
-    return tiles * per_tile
+        variant = VariantSpec(kind=kind)     # UnknownVariantError here
+    tiles = num_cores // TILE_CORES
+    return tiles * variant_overhead_kge(variant, num_cores)
 
 
 def table1_rows() -> list:

@@ -63,6 +63,11 @@ class EnergyReport:
     ops: int
     cycles: int
     num_cores: int
+    #: Energy the atomic variant's own machinery charged through its
+    #: :meth:`~repro.memory.variants.AtomicVariant.adapter_energy_pj`
+    #: hook (0.0 for the built-ins: their adapter activity is folded
+    #: into the calibrated coefficients above).
+    adapter_pj: float = 0.0
 
     @property
     def pj_per_op(self) -> float:
@@ -89,19 +94,36 @@ class EnergyModel:
     def __init__(self, coefficients: EnergyCoefficients = None) -> None:
         self.coefficients = coefficients or EnergyCoefficients.gf22fdx()
 
-    def evaluate(self, stats: SimStats) -> EnergyReport:
-        """Compute the energy breakdown of a finished run."""
+    def evaluate(self, stats: SimStats, variant=None) -> EnergyReport:
+        """Compute the energy breakdown of a finished run.
+
+        ``variant`` (a :class:`~repro.memory.variants.VariantSpec`)
+        lets the run's atomic variant charge its own machinery through
+        its registered ``adapter_energy_pj`` cost-model hook; it
+        defaults to the variant the :class:`~repro.machine.Machine`
+        recorded on ``stats``.  Built-in variants charge nothing, so
+        their numbers are unchanged by the hook.
+        """
         coeff = self.coefficients
         core_pj = (stats.total_active_cycles * coeff.active_cycle_pj
                    + stats.total_stalled_cycles * coeff.stall_cycle_pj
                    + stats.total_sleep_cycles * coeff.sleep_cycle_pj)
         bank_pj = sum(b.accesses for b in stats.banks) * coeff.bank_access_pj
         network_pj = stats.network.hops * coeff.hop_pj
+        if variant is None:
+            variant = getattr(stats, "variant", None)
+        adapter_pj = 0.0
+        if variant is not None:
+            from ..memory.variants import get_variant
+            plugin = get_variant(variant.kind)
+            adapter_pj = plugin.adapter_energy_pj(
+                variant.resolved(len(stats.cores)), stats)
         return EnergyReport(
-            total_pj=core_pj + bank_pj + network_pj,
+            total_pj=core_pj + bank_pj + network_pj + adapter_pj,
             core_pj=core_pj,
             bank_pj=bank_pj,
             network_pj=network_pj,
             ops=stats.total_ops,
             cycles=stats.cycles,
-            num_cores=len(stats.cores))
+            num_cores=len(stats.cores),
+            adapter_pj=adapter_pj)

@@ -41,6 +41,7 @@ from .run import (
 from .spec import (
     RUN_MODES,
     ScenarioSpec,
+    merge_variant_params,
     parse_variant,
     shape_from_config,
     variant_string,
@@ -66,6 +67,7 @@ __all__ = [
     "get_workload",
     "interference_spec",
     "list_workloads",
+    "merge_variant_params",
     "parse_variant",
     "register_workload",
     "run_scenario",

@@ -312,12 +312,19 @@ def apply_settings(spec: ScenarioSpec, settings: dict) -> ScenarioSpec:
 
     Keys naming spec fields (``cores``/``num_cores``, ``variant``,
     ``seed``, ``mode``, ``horizon``, shape fields, ``metrics``) update
-    the spec; every other key becomes a workload parameter override —
-    unknown parameters are rejected when the spec validates.
+    the spec; ``variant.<param>`` keys rewrite one parameter of the
+    spec's variant string (any registered variant's schema, see
+    :func:`~repro.scenarios.spec.merge_variant_params`); every other
+    key becomes a workload parameter override — unknown parameters are
+    rejected when the spec validates.
     """
     spec_updates = {}
+    variant_params = {}
     params = {}
     for key, value in settings.items():
+        if key.startswith("variant.") and len(key) > len("variant."):
+            variant_params[key[len("variant."):]] = value
+            continue
         target = _SPEC_FIELD_ALIASES.get(key)
         if target == "metrics" and isinstance(value, str):
             value = tuple(name.strip() for name in value.split(",")
@@ -326,6 +333,13 @@ def apply_settings(spec: ScenarioSpec, settings: dict) -> ScenarioSpec:
             spec_updates[target] = value
         else:
             params[key] = value
+    if variant_params:
+        # Parameter overrides apply on top of a same-call ``variant``
+        # key, so {"variant": "ticket", "variant.addresses": 8} works.
+        from .spec import merge_variant_params
+        base_variant = spec_updates.get("variant", spec.variant)
+        spec_updates["variant"] = merge_variant_params(base_variant,
+                                                       variant_params)
     if spec_updates:
         # replace(), not override(): an explicit ``field=none`` setting
         # must reset optional fields rather than be silently dropped.

@@ -9,19 +9,30 @@ invocation, or a remote worker) and :meth:`ScenarioSpec.stable_hash`
 gives a process-independent identity used as the result-cache key.
 
 Variants are encoded as short strings so the whole spec stays plain
-data::
+data.  The grammar is open — any registered
+:class:`~repro.memory.variants.AtomicVariant` parses — with two
+argument forms::
 
-    "amo" | "lrsc" | "lrsc_table" | "lrsc_bank"
+    "<name>"                       # e.g. "amo", "colibri", "ticket"
+    "<name>:<value>"               # positional parameter shorthand
+    "<name>:key=val[,key=val...]"  # explicit parameters
+
+Values are integers or symbolic tokens (``half``/``cores``/``ideal``)
+resolved against the system's core count.  The paper's spellings all
+still parse (and hash) exactly as before::
+
     "colibri"          # 4 tracked addresses (the paper's default)
     "colibri:8"        # 8 tracked addresses
     "lrscwait:1"       # bounded reservation queue, 1 slot
     "lrscwait:half"    # num_cores // 2 slots (the paper's 128@256)
     "lrscwait:ideal"   # one slot per core
+    "lrsc_backoff:cap=128"  # a registered extra variant, keyed form
 
 :func:`parse_variant` materializes the string for a concrete system
 size (``half`` depends on ``num_cores``); :func:`variant_string` is the
 inverse used by the spec factories that wrap the pre-existing
-figure/table runners.
+figure/table runners, and :func:`merge_variant_params` layers parameter
+overrides (the ``variant.<param>`` setting keys) onto a string.
 """
 
 from __future__ import annotations
@@ -74,42 +85,60 @@ def _thaw(value):
     return value
 
 
-def parse_variant(text: str, num_cores: int) -> VariantSpec:
-    """Materialize a variant string for a system of ``num_cores``."""
+def _parse_variant_raw(text: str) -> tuple:
+    """``(plugin, raw-params)`` of a variant string, symbols unresolved."""
+    from ..memory.variants import get_variant
     if not isinstance(text, str) or not text:
         raise ConfigError(f"variant must be a non-empty string, got {text!r}")
     name, sep, arg = text.replace("-", "_").partition(":")
     if name == "ideal" and not sep:          # CLI-friendly alias
         name, arg = "lrscwait", "ideal"
-    if name in ("amo", "lrsc", "lrsc_table", "lrsc_bank"):
-        if arg:
+    plugin = get_variant(name)               # UnknownVariantError
+    raw = {}
+    if arg:
+        if "=" in arg:
+            for item in arg.split(","):
+                key, eq, value = item.partition("=")
+                if not eq or not key or not value:
+                    raise ConfigError(
+                        f"variant parameters must be key=value pairs, "
+                        f"got {item!r} in {text!r}")
+                raw[key.strip()] = _variant_value(text, value.strip())
+        elif plugin.positional is None:
             raise ConfigError(f"variant {name!r} takes no argument: {text!r}")
-        return VariantSpec(kind=name)
-    if name == "colibri":
-        if not arg:
-            return VariantSpec.colibri()
-        return VariantSpec.colibri(num_addresses=_variant_int(text, arg))
-    if name == "lrscwait":
-        if arg == "ideal":
-            return VariantSpec.lrscwait_ideal()
-        if arg == "half":
-            return VariantSpec.lrscwait(max(1, num_cores // 2))
-        if arg:
-            return VariantSpec.lrscwait(_variant_int(text, arg))
+        else:
+            raw[plugin.positional] = _variant_value(text, arg)
+    missing = sorted(key for key, schema in plugin.params.items()
+                     if schema.required and key not in raw)
+    if missing:
+        hints = ", ".join(f"':{token}'" for key in missing
+                          for token in plugin.params[key].symbolic)
         raise ConfigError(
-            f"variant 'lrscwait' needs ':<slots>', ':half' or ':ideal', "
-            f"got {text!r}")
-    raise ConfigError(
-        f"unknown variant {text!r}; expected one of amo, lrsc, lrsc_table, "
-        f"lrsc_bank, colibri[:addrs], lrscwait:<slots|half|ideal>")
+            f"variant {name!r} needs a value for {missing} "
+            f"(e.g. ':<int>'{', ' + hints if hints else ''}), got {text!r}")
+    return plugin, raw
 
 
-def _variant_int(text: str, arg: str) -> int:
+def parse_variant(text: str, num_cores: int) -> VariantSpec:
+    """Materialize a variant string for a system of ``num_cores``.
+
+    Any registered variant parses; symbolic parameter values
+    (``half``/``cores``/``ideal``) resolve against ``num_cores``, so
+    the returned spec is fully concrete.
+    """
+    plugin, raw = _parse_variant_raw(text)
+    spec = VariantSpec(kind=plugin.name, params=raw)   # validates
+    return spec.materialize(num_cores)
+
+
+def _variant_value(text: str, arg: str):
+    """A variant-string parameter value: int or symbolic token."""
     try:
-        value = int(arg)
+        return int(arg)
     except ValueError:
+        if arg.isidentifier():
+            return arg                       # symbolic; schema-checked
         raise ConfigError(f"variant argument must be an int: {text!r}")
-    return value
 
 
 def variant_string(variant: VariantSpec) -> str:
@@ -117,15 +146,34 @@ def variant_string(variant: VariantSpec) -> str:
 
     ``lrscwait`` slot counts are encoded literally, so a variant made
     from ``"lrscwait:half"`` stringifies to its concrete slot count —
-    the spec records what actually ran.
+    the spec records what actually ran.  Delegates to the registered
+    plugin's :meth:`~repro.memory.variants.AtomicVariant.string`, so
+    ``parse_variant(variant_string(v), n) == v`` for any registered
+    variant.
     """
-    if variant.kind == "lrscwait":
-        if variant.queue_slots is None:
-            return "lrscwait:ideal"
-        return f"lrscwait:{variant.queue_slots}"
-    if variant.kind == "colibri" and variant.num_addresses != 4:
-        return f"colibri:{variant.num_addresses}"
-    return variant.kind
+    from ..memory.variants import get_variant
+    return get_variant(variant.kind).string(variant.params_dict())
+
+
+def merge_variant_params(text: str, updates: dict) -> str:
+    """Layer parameter overrides onto a variant string.
+
+    The engine behind ``variant.<param>`` setting keys (``repro sweep
+    --axis variant.queue_slots=1,8,half``): the string is parsed
+    *without* resolving symbols, the overrides are merged, and the
+    canonical string of the result is returned — so axes can range
+    over one parameter of any registered variant while the rest of the
+    string stays put.
+    """
+    plugin, raw = _parse_variant_raw(text)
+    for key, value in updates.items():
+        if key not in plugin.params:
+            raise ConfigError(
+                f"variant {plugin.name!r} has no parameter {key!r}; "
+                f"accepted: {sorted(plugin.params) or '(none)'}")
+        plugin.check_value(key, value)
+        raw[key] = value
+    return plugin.string(plugin.fill_defaults(raw))
 
 
 def shape_from_config(config: SystemConfig) -> dict:

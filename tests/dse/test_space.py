@@ -94,3 +94,14 @@ def test_describe_names_axes():
                                   constraints=["bins > 0"])
     assert "bins[3]" in space.describe()
     assert "constraint" in space.describe()
+
+
+def test_variant_param_axes_in_constraints():
+    """Dotted ``variant.<param>`` axis keys are exposed to constraint
+    expressions with underscores (dots are not Python names)."""
+    space = SearchSpace.from_axes(
+        {"cores": [8, 16], "variant.queue_slots": [1, 8, 32]},
+        constraints=["variant_queue_slots <= cores"])
+    points = space.points()
+    assert {(p["cores"], p["variant.queue_slots"]) for p in points} \
+        == {(8, 1), (8, 8), (16, 1), (16, 8)}

@@ -26,6 +26,57 @@ def test_list_names_is_script_friendly(capsys):
     assert names == sorted(name for name, _w in list_workloads())
 
 
+def test_list_variants_table(capsys):
+    from repro.memory import list_variants
+    out = run_cli(capsys, ["list", "--variants"])
+    for name, plugin in list_variants():
+        assert name in out
+        assert plugin.native_method in out
+    assert "registered atomic-memory variants" in out
+    assert "kGE/core" in out                 # area-cost-model column
+
+
+def test_list_variants_names_emits_runnable_strings(capsys):
+    from repro.memory import list_variants
+    from repro.scenarios.spec import parse_variant
+    out = run_cli(capsys, ["list", "--variants", "--names"])
+    lines = out.strip().splitlines()
+    # One line per registered variant, each a parseable variant string
+    # (required parameters filled: lrscwait lists as lrscwait:8).
+    assert len(lines) == len(list_variants())
+    assert "lrscwait:8" in lines
+    for line in lines:
+        parse_variant(line, 16)              # must not raise
+
+
+def test_run_registered_extra_variant(capsys):
+    out = run_cli(capsys, ["run", "histogram", "--smoke",
+                           "--variant", "ticket:2"])
+    assert "ticket:2" in out
+
+
+def test_run_unknown_variant_exits_2(capsys):
+    out = run_cli(capsys, ["run", "histogram", "--variant", "warp"],
+                  expect_code=2)
+    assert "no atomic-memory variant registered" in out
+
+
+def test_run_bad_variant_param_exits_2(capsys):
+    out = run_cli(capsys, ["run", "histogram",
+                           "--variant", "ticket:addresses=0"],
+                  expect_code=2)
+    assert "addresses" in out
+
+
+def test_sweep_variant_param_axis(capsys):
+    out = run_cli(capsys, ["sweep", "histogram", "--cores", "8",
+                           "--set", "updates_per_core=2",
+                           "--variant", "lrscwait:1",
+                           "--axis", "variant.queue_slots=1,ideal"])
+    assert "variant.queue_slots" in out
+    assert "ideal" in out
+
+
 def test_run_with_set_overrides(capsys):
     out = run_cli(capsys, ["run", "histogram", "--cores", "8",
                            "--set", "bins=2", "--set", "updates_per_core=2"])

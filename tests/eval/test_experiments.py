@@ -130,3 +130,23 @@ def test_table2_render_includes_paper_reference():
     result = run_table2(num_cores=8, updates_per_core=4)
     text = result.render()
     assert "paper pJ/op" in text and "884" in text
+
+
+def test_table2_extended_with_registered_variant_series():
+    from repro.eval.harness import TABLE2_SERIES, SeriesSpec
+    extra = list(TABLE2_SERIES) + [SeriesSpec("Ticket", "ticket", "wait")]
+    result = run_table2(num_cores=8, updates_per_core=4, series=extra)
+    assert [row[0] for row in result.rows][-1] == "Ticket"
+    assert result.ratio("Ticket") > 0
+    # Rows the paper does not report render with blank reference cells.
+    assert "Ticket" in result.render()
+
+
+def test_table2_without_colibri_baseline_is_a_config_error():
+    import pytest
+
+    from repro.engine.errors import ConfigError
+    from repro.eval.harness import SeriesSpec
+    with pytest.raises(ConfigError, match="Colibri"):
+        run_table2(num_cores=8, updates_per_core=4,
+                   series=[SeriesSpec("LRSC", "lrsc", "lrsc")])

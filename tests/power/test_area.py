@@ -65,8 +65,21 @@ def test_overhead_monotone_in_parameters():
 
 
 def test_unknown_kind_rejected():
-    with pytest.raises(ValueError):
+    """Unknown kinds route through the variant registry's ConfigError
+    subclass (not a bare ValueError), so CLI paths exit 2."""
+    from repro.engine.errors import ConfigError
+    from repro.memory.variants import UnknownVariantError
+    with pytest.raises(UnknownVariantError):
         system_overhead_kge(64, "bogus")
+    assert issubclass(UnknownVariantError, ConfigError)
+
+
+def test_registered_kinds_all_have_overheads():
+    """Every registered variant evaluates through the registry hooks
+    (pre-registry, only three kinds were accepted)."""
+    from repro.memory.variants import list_variants
+    for name, _plugin in list_variants():
+        assert system_overhead_kge(64, name) >= 0.0
 
 
 def test_table1_rows_cover_all_published_rows():

@@ -1,0 +1,127 @@
+"""The variant-registry redesign's compatibility contract.
+
+The golden hashes and run numbers below were captured on the
+pre-registry codebase (PR 4) for every variant-string spelling that
+existed then.  The registry redesign must keep each string parsing to
+an equivalent spec with an **unchanged** ``stable_hash`` (result caches
+and DSE journals are keyed by it — a drift silently orphans them) and
+a **bit-identical** simulated run.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    apply_settings,
+    default_spec,
+    merge_variant_params,
+    run_scenario,
+    sweep,
+)
+from repro.scenarios.spec import parse_variant, variant_string
+
+#: variant string -> (stable_hash of the reference spec,
+#:                    cycles, messages, active, sleep) captured pre-PR5.
+GOLDEN = {
+    "amo": ("94380496d351d7141c7ca93b0f4cca2a325dedf7fc33533526d29189217d90fc",
+            26, 48, 24, 0),
+    "lrsc": ("dbc24f21331b13856174adc1c3a2bce034a03f266bb1efa8ab4be600"
+             "99136509", 527, 264, 1222, 0),
+    "lrsc_table": ("25e0c9896df8f8509fec596bab122af24111b1689bbc00b9168"
+                   "29ea29b1fc4a3", 212, 180, 306, 0),
+    "lrsc_bank": ("85a94541144246031c4dedd7531eb8e0987db07112cdf484f16c"
+                  "ae24f1bbbef2", 212, 180, 306, 0),
+    "colibri": ("ec7058e5f2671ce67fcf3d524ee579e2160e8c2d57877538f33a62"
+                "74fcf7dd3e", 95, 140, 72, 471),
+    "colibri:8": ("7b7b4012064ac1a7b63b73482bb700eaf7d0f3a58889d52ed75d"
+                  "387d12b29850", 95, 140, 72, 471),
+    "lrscwait:1": ("409b3e0ab26e6159ba9d4687c03ba1a57449a45ec2296b40070"
+                   "4350a2161ac73", 147, 140, 428, 195),
+    "lrscwait:half": ("1dad85ca707cabaddce7ab69dce103b1b616523a45d60cf1"
+                      "e378dee6d5232cf4", 100, 98, 105, 298),
+    "lrscwait:ideal": ("f37b3c396f8c2c8cb3b1842377f856bfdb4a1236e1f2ee7"
+                       "4340ec2c50745304a", 79, 96, 72, 361),
+    "ideal": ("24491a0de236507b858c575f6449f65e5521596d69ce4da209313"
+              "44ef6d72ea5", 79, 96, 72, 361),
+    "lrsc-table": ("1036935d38c024356220c2689b7e05f7918ececad007a3f8b4b"
+                   "f601798c9e6fa", 212, 180, 306, 0),
+}
+
+
+def _reference_spec(text):
+    variant = parse_variant(text, 8)
+    return default_spec("histogram", num_cores=8, variant=text).with_params(
+        bins=2, updates_per_core=3, method=variant.native_method)
+
+
+@pytest.mark.parametrize("text", sorted(GOLDEN))
+def test_stable_hash_unchanged(text):
+    """Caches/journals keyed by the hash survive the refactor."""
+    assert _reference_spec(text).stable_hash() == GOLDEN[text][0]
+
+
+@pytest.mark.parametrize("text", sorted(GOLDEN))
+def test_run_bit_identical(text):
+    _hash, cycles, messages, active, sleep = GOLDEN[text]
+    result = run_scenario(_reference_spec(text))
+    assert (result.cycles, result.messages, result.active_cycles,
+            result.sleep_cycles) == (cycles, messages, active, sleep)
+
+
+def test_half_still_materializes_to_concrete_slots():
+    """A 'half' variant stringifies to what actually ran (spec
+    identity of the figure factories)."""
+    assert variant_string(parse_variant("lrscwait:half", 8)) == "lrscwait:4"
+    assert variant_string(parse_variant("lrscwait:half", 256)) \
+        == "lrscwait:128"
+
+
+# -- the generalized grammar ---------------------------------------------------
+
+
+def test_keyed_form_parses_to_same_variant_spec():
+    assert parse_variant("lrscwait:queue_slots=3", 8) \
+        == parse_variant("lrscwait:3", 8)
+    assert parse_variant("colibri:num_addresses=8", 8) \
+        == parse_variant("colibri:8", 8)
+    assert parse_variant("lrscwait:queue_slots=half", 8) \
+        == parse_variant("lrscwait:4", 8)
+
+
+def test_new_variant_strings_round_trip():
+    for text in ("ticket", "ticket:2", "lrsc_backoff",
+                 "lrsc_backoff:base=4,cap=16"):
+        variant = parse_variant(text, 8)
+        assert parse_variant(variant_string(variant), 8) == variant
+
+
+def test_merge_variant_params():
+    assert merge_variant_params("colibri", {"num_addresses": 8}) \
+        == "colibri:8"
+    assert merge_variant_params("lrscwait:8", {"queue_slots": "half"}) \
+        == "lrscwait:half"
+    assert merge_variant_params("lrscwait:8", {"queue_slots": None}) \
+        == "lrscwait:ideal"
+    assert merge_variant_params("lrsc_backoff:cap=16", {"base": 4}) \
+        == "lrsc_backoff:base=4,cap=16"
+
+
+def test_apply_settings_variant_param_keys():
+    spec = default_spec("histogram", num_cores=8, variant="lrscwait:1")
+    layered = apply_settings(spec, {"variant.queue_slots": 4})
+    assert layered.variant == "lrscwait:4"
+    # Combined with a same-call variant override, params win on top.
+    layered = apply_settings(spec, {"variant": "ticket",
+                                    "variant.addresses": 8})
+    assert layered.variant == "ticket:8"
+
+
+def test_sweep_over_variant_param_axis():
+    base = default_spec("histogram", num_cores=8,
+                        variant="lrscwait:1").with_params(
+        bins=2, updates_per_core=2)
+    outcomes = sweep(base, {"variant.queue_slots": [1, 4, "ideal"]})
+    variants = [result.spec.variant for _combo, result in outcomes]
+    assert variants == ["lrscwait:1", "lrscwait:4", "lrscwait:ideal"]
+    # More slots can only help (fewer QUEUE_FULL retries).
+    cycles = [result.cycles for _combo, result in outcomes]
+    assert cycles[0] >= cycles[1] >= cycles[2]
