@@ -1,0 +1,140 @@
+"""Campaign throughput: the batched core vs the sequential path.
+
+The metric this file tracks is **campaign throughput** — scenario
+points per second at smoke fidelity — because that, not single-run
+latency, is what design-space campaigns spend (ROADMAP item 2).  The
+batched core (``run_scenarios(..., batch=True)``) pools machines by
+shape/variant/seed and resets them between points instead of paying
+``build_machine`` per point; outputs are bit-identical to the
+sequential path, asserted here on every run (including
+``--benchmark-disable`` CI executions).
+
+What the speedup honestly is: at smoke fidelity the event-loop run
+itself dominates a point (~70%), so machine pooling buys back the
+build/teardown share — measured ~1.2–1.4× on the reference machine,
+recorded under ``PR6-batch-core`` in ``BENCH_engine.json``.  The
+remaining distance to the ROADMAP's 3× campaign-throughput target is
+per-event interpreter cost, i.e. the opt-in compiled kernel that item 2
+still lists as open.  The assertion below guards the floor of what
+pooling must deliver; the trajectory lives in the baseline file.
+"""
+
+import dataclasses
+import time
+
+from repro.scenarios import default_spec
+from repro.scenarios.batch import execute_batch, machine_key
+from repro.scenarios.registry import get_workload
+from repro.scenarios.run import apply_settings, run_scenarios
+
+from common import NOISE_FACTOR, baseline_stat, report
+
+#: Minimum batch-vs-sequential speedup the warm pool must deliver on a
+#: campaign whose points share machines.  Deliberately below the
+#: measured ~1.2–1.4×: this is a regression floor (is pooling still
+#: paying for itself?), not the tracked trajectory number.
+MIN_BATCH_SPEEDUP = 1.05
+
+
+def _campaign_specs():
+    """A smoke-fidelity campaign: 24 points in 2 machine groups.
+
+    Histogram at the workload's smoke shape, swept over bins and
+    updates (param axes — machine shared) and two variants (machine
+    axis — one warm machine each).
+    """
+    workload = get_workload("histogram")
+    base = apply_settings(default_spec("histogram"),
+                          dict(workload.smoke))
+    specs = []
+    for variant in ("colibri", "lrsc"):
+        for bins in (1, 2, 4, 8):
+            for updates in (2, 4, 8):
+                specs.append(dataclasses.replace(
+                    base.with_params(bins=bins,
+                                     updates_per_core=updates),
+                    variant=variant))
+    return specs
+
+
+def _paired_best_seconds(fn_a, fn_b, rounds: int = 5) -> tuple:
+    """Best-of-N wall time for two functions, measured *alternating*.
+
+    Container/CI machines see multi-second load bursts; measuring the
+    two sides back-to-back lets one burst land entirely on one side and
+    flip a ~1.2× ratio.  Alternating rounds spread bursts over both,
+    and the per-side minimum (deterministic work) discards them.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def test_batch_campaign_throughput(benchmark):
+    """Batched campaign: throughput tracked, bit-identity asserted."""
+    specs = _campaign_specs()
+    assert len({machine_key(spec) for spec in specs}) == 2
+
+    def run_batch():
+        return run_scenarios(specs, batch=True)
+
+    batched = benchmark.pedantic(run_batch, rounds=5, iterations=1)
+    sequential = run_scenarios(specs)
+    assert batched == sequential          # bit-identical, always
+    if not benchmark.enabled:
+        return  # --benchmark-disable: correctness-only execution
+    # The ratio is measured separately with alternating rounds and
+    # min-vs-min (the pedantic stats above feed the tracked baseline).
+    batch_best, sequential_s = _paired_best_seconds(
+        run_batch, lambda: run_scenarios(specs))
+    points = len(specs)
+    speedup = sequential_s / batch_best
+    report(benchmark,
+           f"campaign throughput: batch {points / batch_best:.0f} "
+           f"points/s vs sequential {points / sequential_s:.0f} "
+           f"points/s -> {speedup:.2f}x",
+           points=points,
+           batch_points_per_s=round(points / batch_best, 1),
+           sequential_points_per_s=round(points / sequential_s, 1),
+           speedup=round(speedup, 3))
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batch speedup {speedup:.2f}x below the {MIN_BATCH_SPEEDUP}x "
+        f"floor — the warm-machine pool no longer pays for its "
+        f"bookkeeping")
+    # Guard on the round minimum, not the median: the work is
+    # deterministic, so min is the repeatable statistic on machines
+    # with background-load bursts (observed median swings ~2× here
+    # while min stays within the noise factor).
+    batch_min = benchmark.stats.stats.min
+    baseline = baseline_stat("test_batch_campaign_throughput",
+                             "PR6-batch-core", stat="min")
+    assert batch_min <= baseline * NOISE_FACTOR, (
+        f"batched campaign min {batch_min:.6f}s exceeds "
+        f"{baseline:.6f}s * {NOISE_FACTOR} — the batch core regressed")
+
+
+def test_batch_machine_reuse(benchmark):
+    """The pool actually reuses: one build per machine group."""
+    specs = _campaign_specs()
+
+    def run():
+        return execute_batch(specs)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == len(specs)
+    # Warm-pool accounting re-derived out-of-band: the 24 specs span
+    # exactly 2 machine groups, so a fresh runner performs 2 builds
+    # and 22 resets (asserted functionally in tests/scenarios).
+    if benchmark.enabled:
+        baseline = baseline_stat("test_batch_machine_reuse",
+                                 "PR6-batch-core", stat="min")
+        best = benchmark.stats.stats.min
+        assert best <= baseline * NOISE_FACTOR, (
+            f"execute_batch min {best:.6f}s exceeds "
+            f"{baseline:.6f}s * {NOISE_FACTOR}")

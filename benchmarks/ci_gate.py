@@ -1,0 +1,106 @@
+"""CI perf gate: fresh benchmark timings vs recorded baselines.
+
+Compares the medians in one or more pytest-benchmark ``--benchmark-json``
+files against the newest ``BENCH_engine.json`` entry that records each
+benchmark, with the suite's noise tolerance (``NOISE_FACTOR``).  Exits 1
+if any benchmark's fresh median exceeds ``baseline * NOISE_FACTOR``.
+
+Pass *several* fresh JSON files (repeat the pytest run) and the gate
+takes the best median per benchmark across them: each median already
+aggregates that run's rounds, and the minimum across independent runs
+discards whole-run load bursts — the failure mode that makes a single
+noisy measurement flag a regression that is not there.  The work being
+timed is deterministic, so the best observation is the honest one.
+
+Benchmarks with no recorded baseline are reported as NEW and do not
+fail the gate (appending their first entry is a deliberate, reviewed
+act — see the protocol in ``benchmarks/common.py``).
+
+Usage::
+
+    pytest benchmarks -q --benchmark-json=timings-1.json
+    pytest benchmarks -q --benchmark-json=timings-2.json
+    python benchmarks/ci_gate.py timings-1.json timings-2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from common import NOISE_FACTOR, load_baselines, machine_fingerprint
+
+
+def best_medians(paths: list) -> dict:
+    """Per-benchmark best median across the given fresh JSON files."""
+    best: dict = {}
+    for path in paths:
+        with open(path) as stream:
+            data = json.load(stream)
+        for bench in data.get("benchmarks", []):
+            name = bench["name"]
+            median = bench["stats"]["median"]
+            if name not in best or median < best[name]:
+                best[name] = median
+    return best
+
+
+def newest_baseline(doc: dict, bench_name: str):
+    """``(label, median)`` from the newest entry recording the bench."""
+    for entry in reversed(doc["entries"]):
+        if bench_name in entry["benchmarks"]:
+            return entry["label"], entry["benchmarks"][bench_name]["median"]
+    return None, None
+
+
+def run_gate(paths: list, noise: float) -> int:
+    doc = load_baselines()
+    fresh = best_medians(paths)
+    if not fresh:
+        print("ci_gate: no benchmarks found in the supplied JSON files")
+        return 1
+    baseline_machine = doc.get("machine", {})
+    machine = machine_fingerprint()
+    if machine != baseline_machine:
+        print(f"ci_gate: note: measuring on {machine}, file-level "
+              f"baseline machine is {baseline_machine} (per-entry "
+              f"stamps identify newer baselines)")
+    failures = 0
+    width = max(len(name) for name in fresh)
+    print(f"ci_gate: {len(paths)} fresh run(s), noise factor {noise}")
+    for name in sorted(fresh):
+        label, baseline = newest_baseline(doc, name)
+        if baseline is None:
+            print(f"  {name:<{width}}  {fresh[name]*1e3:8.3f} ms  "
+                  f"NEW (no baseline recorded)")
+            continue
+        allowed = baseline * noise
+        verdict = "ok" if fresh[name] <= allowed else "REGRESSION"
+        if verdict != "ok":
+            failures += 1
+        print(f"  {name:<{width}}  {fresh[name]*1e3:8.3f} ms  vs "
+              f"{baseline*1e3:8.3f} ms ({label}) "
+              f"allowed {allowed*1e3:8.3f} ms  {verdict}")
+    if failures:
+        print(f"ci_gate: {failures} benchmark(s) regressed beyond "
+              f"{noise}x of their recorded baseline")
+        return 1
+    print("ci_gate: all benchmarks within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_files", nargs="+",
+                        help="pytest-benchmark --benchmark-json outputs "
+                             "(pass several repeats for burst immunity)")
+    parser.add_argument("--noise", type=float, default=NOISE_FACTOR,
+                        help="allowed fresh/baseline median ratio "
+                             f"(default: {NOISE_FACTOR})")
+    args = parser.parse_args(argv)
+    return run_gate(args.json_files, args.noise)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

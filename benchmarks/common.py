@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 
 #: Default CI scale for simulation benchmarks.
 BENCH_CORES = 32
@@ -65,11 +66,59 @@ _BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
                            "BENCH_engine.json")
 
 
-def baseline_median(bench_name: str, label: str = "PR1-fast-path") -> float:
-    """A recorded median from ``BENCH_engine.json`` (see protocol above)."""
+def machine_fingerprint() -> dict:
+    """The machine identity stamped on baseline entries.
+
+    Same shape as the file-level ``machine`` block of
+    ``BENCH_engine.json``; per-entry stamps record *which* machine each
+    appended baseline was measured on, so a trajectory mixing machines
+    is visible instead of silently incomparable.
+    """
+    return {"python": platform.python_version(),
+            "platform": platform.platform()}
+
+
+def make_entry(label: str, benchmarks: dict) -> dict:
+    """A ``BENCH_engine.json`` entry stamped with this machine.
+
+    ``benchmarks`` maps bench names to their ``min``/``median``/``mean``
+    (plus any extra headline numbers).  Append the result to the file's
+    ``entries`` list — never overwrite history.
+    """
+    return {"label": label, "machine": machine_fingerprint(),
+            "benchmarks": benchmarks}
+
+
+def load_baselines() -> dict:
+    """The parsed ``BENCH_engine.json`` document."""
     with open(_BENCH_JSON) as stream:
-        data = json.load(stream)
+        return json.load(stream)
+
+
+def baseline_stat(bench_name: str, label: str = "PR1-fast-path",
+                  stat: str = "median") -> float:
+    """A recorded statistic from ``BENCH_engine.json`` (protocol above).
+
+    ``stat`` picks the recorded number: ``"median"`` for trajectory
+    comparisons, ``"min"`` for noise-robust regression floors
+    (deterministic work — the minimum is the repeatable estimate on
+    machines with load bursts).
+    """
+    data = load_baselines()
+    labels = [entry["label"] for entry in data["entries"]]
     for entry in data["entries"]:
         if entry["label"] == label:
-            return entry["benchmarks"][bench_name]["median"]
-    raise AssertionError(f"no {label!r} entry in BENCH_engine.json")
+            if bench_name not in entry["benchmarks"]:
+                raise AssertionError(
+                    f"entry {label!r} in BENCH_engine.json has no "
+                    f"benchmark {bench_name!r}; it records: "
+                    f"{sorted(entry['benchmarks'])}")
+            return entry["benchmarks"][bench_name][stat]
+    raise AssertionError(
+        f"no {label!r} entry in BENCH_engine.json; available labels: "
+        f"{labels}")
+
+
+def baseline_median(bench_name: str, label: str = "PR1-fast-path") -> float:
+    """A recorded median from ``BENCH_engine.json`` (see protocol above)."""
+    return baseline_stat(bench_name, label, stat="median")

@@ -93,6 +93,34 @@ class Histogram:
             raise ValueError(f"unknown histogram method {method!r}")
         return lambda api: self.rmw_kernel(api, method, updates)
 
+    def flat_kernel_factory(self, method: str, updates: int):
+        """Vectorized drop-in for :meth:`kernel_factory` (RMW only).
+
+        Bit-identical to the scalar path — same commands, same cycle
+        counts, same RNG draw order — just one flat generator frame per
+        core instead of the nested ``fetch_add`` stack.  ``"lock"`` has
+        no flat driver; use :meth:`kernel_factory`.
+        """
+        if method not in RMW_METHODS:
+            raise ValueError(f"unknown histogram RMW method {method!r}")
+        from .vectorized import flat_uniform_rmw
+        return lambda api: flat_uniform_rmw(
+            api, self.base, self.word, self.num_bins, updates, method)
+
+    def flat_stream_factory(self, streams, method: str):
+        """Vectorized kernel over per-core precomputed bin-index streams.
+
+        ``streams[core_id]`` is the sequence of bin indices that core
+        updates, in order (e.g. Zipf draws from a host RNG).  Bit-
+        identical to looping ``fetch_add`` over the same stream.
+        """
+        if method not in RMW_METHODS:
+            raise ValueError(f"unknown histogram RMW method {method!r}")
+        from .vectorized import flat_stream_rmw
+        addrs = [[self.bin_addr(index) for index in stream]
+                 for stream in streams]
+        return lambda api: flat_stream_rmw(api, addrs[api.core_id], method)
+
     # -- verification -------------------------------------------------------------------
 
     def counts(self) -> list:

@@ -54,6 +54,15 @@ class Matmul:
                 yield from api.sw(self._addr(self.c_base, row, col), acc)
                 yield from api.retire()
 
+    def flat_worker_kernel(self, api: CoreApi, rows) -> object:
+        """Vectorized drop-in for :meth:`worker_kernel`.
+
+        Same command sequence and cycle costs, but the load commands are
+        prebuilt arrays and the generator is a single flat frame.
+        """
+        from .vectorized import flat_matmul_kernel
+        return flat_matmul_kernel(api, self, rows)
+
     def partition_rows(self, num_workers: int) -> list:
         """Split output rows round-robin across ``num_workers``."""
         return [range(worker, self.dim, num_workers)

@@ -257,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--format", choices=("json", "csv"), default="json",
                      help="export format for --out: one JSON document "
                           "or one tidy CSV table")
+    swp.add_argument("--batch", action="store_true",
+                     help="run all points in one warm process, reusing "
+                          "machines across points that share a shape/"
+                          "variant/seed (bit-identical results; "
+                          "incompatible with --jobs)")
     _add_jobs(swp)
 
     explore = sub.add_parser(
@@ -315,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ranking rows to print")
     explore.add_argument("--width", type=int, default=56,
                          help="character width of the frontier plot")
+    explore.add_argument("--batch", action="store_true",
+                         help="evaluate each campaign batch in one warm "
+                              "process with pooled machines (bit-"
+                              "identical journal; incompatible with "
+                              "--jobs)")
     _add_jobs(explore)
 
     front = sub.add_parser(
@@ -518,7 +528,8 @@ def cmd_sweep(args) -> str:
     axes = _parse_axes(args.axes)
     base = _build_spec(args)
     jobs, cache = _runner_options(args)
-    outcomes = sweep_scenarios(base, axes, jobs=jobs, cache=cache)
+    outcomes = sweep_scenarios(base, axes, jobs=jobs, cache=cache,
+                               batch=args.batch)
     axis_keys = list(axes)
     metric_keys = sorted({key for _combo, result in outcomes
                           for key in result.metrics})
@@ -658,7 +669,7 @@ def cmd_explore(args) -> str:
         base=base, space=space, sampler=args.sampler,
         objectives=objectives, budget=args.budget, seed=base.seed,
         jobs=jobs, cache=cache, journal_file=journal_file,
-        resume=resume_doc)
+        resume=resume_doc, batch=args.batch)
     result = campaign.run()
     parts = [render_journal(result.journal, width=args.width,
                             top=args.top)]

@@ -147,19 +147,26 @@ class Campaign:
     or a ready :class:`~repro.dse.samplers.Sampler` instance.  When
     ``journal_file`` is set the journal is rewritten atomically after
     every batch; ``resume`` (a loaded journal dict) replays its records
-    before anything simulates.  ``cache``/``jobs`` flow to
+    before anything simulates.  ``cache``/``jobs``/``batch`` flow to
     :func:`run_scenarios` unchanged — except for telemetry objectives,
-    which force probed, serial, cache-less evaluation.
+    which force probed, serial, cache-less evaluation (probed machines
+    cannot be pooled, so ``batch`` never applies to them).
     """
 
     def __init__(self, base: ScenarioSpec, space: SearchSpace, sampler,
                  objectives, budget: int, seed: int = 0, jobs: int = 1,
                  cache=None, journal_file: Optional[str] = None,
                  resume: Optional[dict] = None,
-                 sampler_options: Optional[dict] = None) -> None:
+                 sampler_options: Optional[dict] = None,
+                 batch: bool = False) -> None:
         if not isinstance(budget, int) or budget < 1:
             raise ConfigError(
                 f"campaign budget must be a positive int, got {budget!r}")
+        if batch and jobs != 1:
+            raise ConfigError(
+                f"batch execution runs all points in one warm process and "
+                f"is incompatible with jobs={jobs!r}; drop --jobs or "
+                f"--batch")
         if not objectives:
             raise ConfigError("a campaign needs at least one objective")
         self.base = base
@@ -178,6 +185,7 @@ class Campaign:
         self.budget = budget
         self.seed = seed
         self.jobs = jobs
+        self.batch = batch
         self.cache = cache
         self.journal_file = journal_file
         self.probes = sorted({o.probe for o in self.objectives
@@ -400,7 +408,8 @@ class Campaign:
         if self.probes:
             return [run_scenario(spec, probes=list(self.probes))
                     for spec in specs]
-        return run_scenarios(specs, jobs=self.jobs, cache=self.cache)
+        return run_scenarios(specs, jobs=self.jobs, cache=self.cache,
+                             batch=self.batch)
 
     # -- journal --------------------------------------------------------------
 

@@ -1,0 +1,67 @@
+"""Warm-machine pooling for batched simulation.
+
+Campaign throughput — many *small* simulations per second, not one big
+one — is dominated by per-point setup: ``Machine`` construction wires
+banks, adapters, cores, Qnodes and the network from scratch for every
+scenario point, and at smoke fidelity that construction rivals the run
+itself.  :class:`BatchRunner` amortizes it: machines are pooled under an
+opaque hashable key (the scenario layer derives it from shape + variant
++ seed) and *reset* to their post-build state between points instead of
+rebuilt.  ``Machine.reset()`` is bit-exact by contract — every component
+restores its post-construction state and the per-core RNG streams
+rewind — so a warm machine is observationally identical to a fresh one.
+
+The pool is deliberately conservative about what it reuses: a machine
+whose bank adapters do not declare themselves
+:attr:`~repro.memory.adapter.AtomicAdapter.RESETTABLE` (e.g. a
+third-party variant that predates the reset contract) is rebuilt for
+every point, trading the speedup for guaranteed correctness.
+
+This module knows nothing about scenario specs; the grouping policy
+lives in :mod:`repro.scenarios.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+
+class BatchRunner:
+    """A pool of reusable machines, keyed by machine-equivalence class.
+
+    Two keys are equivalence classes: ``acquire(key, build)`` must only
+    be called with the same ``key`` for ``build`` thunks that construct
+    interchangeable machines (same shape, variant, seed).  The caller
+    loads kernels / runs / harvests stats between ``acquire`` calls; the
+    runner resets the machine on the *next* acquisition, so harvested
+    state must be copied out before then.
+    """
+
+    def __init__(self) -> None:
+        self._machines: dict = {}
+        #: Machines constructed from scratch (cold points).
+        self.builds = 0
+        #: Points served by resetting a pooled machine (warm points).
+        self.resets = 0
+
+    def acquire(self, key: Hashable, build: Callable[[], "Machine"]):
+        """A machine for ``key``: pooled-and-reset when possible, else
+        freshly built via ``build()`` (and pooled for next time)."""
+        machine = self._machines.get(key)
+        if machine is not None and machine.resettable:
+            machine.reset()
+            self.resets += 1
+            return machine
+        machine = build()
+        self.builds += 1
+        self._machines[key] = machine
+        return machine
+
+    @property
+    def pooled(self) -> int:
+        """Distinct machine groups currently held warm."""
+        return len(self._machines)
+
+    def clear(self) -> None:
+        """Drop every pooled machine (frees the simulated memory)."""
+        self._machines.clear()

@@ -61,6 +61,11 @@ class ThrottledPort:
         self._used = 1
         return self._cycle
 
+    def reset(self) -> None:
+        """Forget the token window (warm machine reuse)."""
+        self._cycle = -1
+        self._used = 0
+
 
 class Network:
     """Latency-accurate message delivery between cores and banks."""
@@ -86,6 +91,15 @@ class Network:
         self._core_handlers: dict = {}
         #: core_id -> callable(SuccessorUpdate)  (the Qnode input port)
         self._qnode_handlers: dict = {}
+
+    def reset(self) -> None:
+        """Reset the ingress throttles (warm machine reuse).
+
+        Handler registrations are construction-time wiring and stay;
+        message counters live in :class:`NetworkStats`, reset separately.
+        """
+        for port in self._tile_ingress:
+            port.reset()
 
     # -- endpoint registration ------------------------------------------------
 

@@ -31,8 +31,23 @@ class AtomicAdapter:
     #: Ops this adapter accepts beyond LW/SW/AMO; subclasses extend.
     EXTRA_OPS: frozenset = frozenset()
 
+    #: Whether :meth:`reset` restores this adapter to its post-build
+    #: state.  The batch runner reuses a warm machine only when every
+    #: bank adapter declares itself resettable; unknown third-party
+    #: adapters default to ``False`` and force a rebuild per point.
+    #: Subclasses that add mutable state must either override
+    #: :meth:`reset` (calling ``super().reset()``) or leave this False.
+    RESETTABLE: bool = False
+
     def __init__(self, controller) -> None:
         self.ctrl = controller
+
+    def reset(self) -> None:
+        """Discard all reservation/queue state, as if freshly built.
+
+        Only meaningful when :attr:`RESETTABLE` is true; the base
+        adapter keeps no mutable state, so the default is a no-op.
+        """
 
     # -- main dispatch -------------------------------------------------------
 
@@ -113,6 +128,8 @@ class AmoAdapter(AtomicAdapter):
     #: without a valid reservation to simply fail, and software written
     #: against LR/SC should degrade, not crash, on an AMO-only unit.
     EXTRA_OPS = frozenset({Op.SC})
+
+    RESETTABLE = True
 
     def handle_reserved(self, req: MemRequest) -> None:
         if req.op is Op.SC:

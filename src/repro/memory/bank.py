@@ -20,6 +20,10 @@ class SpmBank:
         self.mask = (1 << (word_bytes * 8)) - 1
         self._data = [0] * words
 
+    def reset(self) -> None:
+        """Zero the storage in place (warm machine reuse)."""
+        self._data[:] = [0] * self.words
+
     def read(self, row: int) -> int:
         """Return the word at ``row`` (unsigned)."""
         self._check(row)

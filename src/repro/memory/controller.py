@@ -62,6 +62,14 @@ class BankController:
         self._port_free_at = 0
         network.register_bank(bank_id, self.receive)
 
+    def reset(self) -> None:
+        """Return the bank to its post-build state (warm machine reuse):
+        idle port, zeroed storage, empty adapter.  Only legal when the
+        adapter declares :attr:`~AtomicAdapter.RESETTABLE`."""
+        self._port_free_at = 0
+        self.bank.reset()
+        self.adapter.reset()
+
     # -- port scheduling -------------------------------------------------------
 
     def receive(self, msg) -> None:

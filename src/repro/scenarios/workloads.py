@@ -37,7 +37,6 @@ from ..sync.locks import (
     LrscSpinLock,
     MwaitMcsLock,
 )
-from ..sync.rmw import fetch_add
 from ..workloads.interference import measure_interference
 from ..workloads.streams import zipf_stream
 from .registry import LoadedWorkload, Workload, register_workload
@@ -111,8 +110,14 @@ class HistogramWorkload(Workload):
         histogram = Histogram(machine, p["bins"])
         if method == "lock":
             _attach_locks(histogram, p["lock"], p["lock_backoff_window"])
-        machine.load_all(histogram.kernel_factory(method,
-                                                  p["updates_per_core"]))
+            factory = histogram.kernel_factory(method,
+                                               p["updates_per_core"])
+        else:
+            # RMW methods run the vectorized driver (bit-identical to
+            # the scalar kernel; golden-tested); locks stay scalar.
+            factory = histogram.flat_kernel_factory(method,
+                                                    p["updates_per_core"])
+        machine.load_all(factory)
         expected = machine.config.num_cores * p["updates_per_core"]
         label = p["label"] or f"{machine.variant.label()}/{method}"
 
@@ -175,13 +180,9 @@ class ZipfHistogramWorkload(Workload):
             for core in range(machine.config.num_cores)
         ]
 
-        def kernel(api):
-            for index in streams[api.core_id]:
-                yield from fetch_add(api, histogram.bin_addr(index), 1,
-                                     method)
-                yield from api.retire()
-
-        machine.load_all(kernel)
+        # Vectorized driver over the precomputed streams (bit-identical
+        # to a scalar fetch_add loop; golden-tested).
+        machine.load_all(histogram.flat_stream_factory(streams, method))
         expected = machine.config.num_cores * p["updates_per_core"]
 
         def finish(stats):
@@ -272,7 +273,7 @@ class MatmulWorkload(Workload):
         for worker, row_slice in enumerate(rows):
             machine.load(worker,
                          lambda api, r=row_slice:
-                         matmul.worker_kernel(api, r))
+                         matmul.flat_worker_kernel(api, r))
 
         def finish(stats):
             return None, {"macs": p["dim"] ** 3,

@@ -40,9 +40,9 @@ def count_simulations(monkeypatch):
     simulated = []
     original = campaign_module.run_scenarios
 
-    def counting(specs, jobs=1, cache=None):
+    def counting(specs, jobs=1, cache=None, batch=False):
         simulated.extend(specs)
-        return original(specs, jobs=jobs, cache=cache)
+        return original(specs, jobs=jobs, cache=cache, batch=batch)
 
     monkeypatch.setattr(campaign_module, "run_scenarios", counting)
     return simulated
