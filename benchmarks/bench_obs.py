@@ -1,0 +1,80 @@
+"""Observability hook cost: disabled hooks must be free.
+
+PR 8 threads span/counter hooks through the harness hot path (cache
+lookups, pool acquire, every scenario point and phase).  The contract
+mirrors PR 3's simulator telemetry: **disabled — the default — costs
+one attribute load plus a branch per site**, so the batched campaign
+from ``bench_batch.py`` must stay within noise of the ``PR6-batch-core``
+baseline with the hooks compiled in.  That is the regression this file
+gates; enabled-mode cost is reported (it pays for span bookkeeping and
+``perf_counter`` reads) but only correctness-gated, because recording
+is opt-in per run.
+
+The enabled-mode bench also reconciles the counters against the pool's
+own accounting — the 24-point campaign spans exactly 2 machine groups,
+so the observed run must report 2 builds, 22 resets and 24 point spans,
+or the instrumentation is lying about what the harness did.
+"""
+
+from repro.obs import OBS
+from repro.scenarios.run import run_scenarios
+
+from bench_batch import _campaign_specs
+from common import NOISE_FACTOR, baseline_stat, report
+
+
+def test_obs_disabled_within_batch_core_noise(benchmark):
+    """Hooks off (default): the PR6 batched campaign, unchanged."""
+    specs = _campaign_specs()
+    assert not OBS.enabled
+
+    def run():
+        return run_scenarios(specs, batch=True)
+
+    results = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(results) == len(specs)
+    if not benchmark.enabled:
+        return  # --benchmark-disable: correctness-only execution
+    best = benchmark.stats.stats.min
+    baseline = baseline_stat("test_batch_campaign_throughput",
+                             "PR6-batch-core", stat="min")
+    report(benchmark,
+           f"obs-disabled batched campaign: min {best:.4f}s vs "
+           f"PR6-batch-core {baseline:.4f}s "
+           f"(x{best / baseline:.2f})",
+           baseline_s=round(baseline, 6),
+           ratio=round(best / baseline, 3))
+    assert best <= baseline * NOISE_FACTOR, (
+        f"obs-disabled campaign min {best:.6f}s exceeds "
+        f"{baseline:.6f}s * {NOISE_FACTOR} — the disabled-path hooks "
+        f"are no longer free")
+
+
+def test_obs_enabled_counters_reconcile(benchmark):
+    """Hooks on: results identical, counters match pool accounting."""
+    specs = _campaign_specs()
+
+    def run():
+        OBS.enable()
+        try:
+            results = run_scenarios(specs, batch=True)
+            return results, OBS.metrics.snapshot()
+        finally:
+            OBS.disable()
+
+    results, snap = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Observation must not perturb the simulation.
+    assert results == run_scenarios(specs, batch=True)
+    counters = snap["counters"]
+    assert counters["pool.build"] == 2, counters
+    assert counters["pool.reset"] == 22, counters
+    assert snap["timers"]["span.point"]["count"] == len(specs)
+    if benchmark.enabled:
+        report(benchmark,
+               f"obs-enabled batched campaign: min "
+               f"{benchmark.stats.stats.min:.4f}s "
+               f"({len(specs)} points, "
+               f"{snap['timers']['span.point']['count']} point spans)",
+               point_spans=snap["timers"]["span.point"]["count"],
+               pool_builds=counters["pool.build"],
+               pool_resets=counters["pool.reset"])

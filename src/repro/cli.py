@@ -19,7 +19,12 @@ diagnostics without writing a kernel:
 * ``frontier`` — rankings and the Pareto frontier of a saved campaign
   journal (``repro frontier DIR/journal.json``);
 * ``cache`` — result-cache maintenance (``repro cache stats|prune
-  --cache-dir DIR [--max-entries N]``);
+  --cache-dir DIR [--max-entries N]``), with lifetime hit/miss rates
+  from the directory's counters sidecar;
+* ``obs`` — platform observability readback: ``repro obs summary
+  FILE`` renders utilization/cache/throughput from an ``--obs-trace``
+  Chrome trace (record one with ``repro sweep/explore/reproduce
+  --obs-trace FILE [--profile OUT]``) or from a campaign journal;
 * ``trace`` — run a scenario with telemetry probes attached and render
   or export the diagnostics (``repro trace histogram --probe
   bank_contention --out report/ --format json``);
@@ -43,6 +48,7 @@ from typing import Optional
 
 from .engine.errors import ReproError
 from .eval.analysis import summarize
+from .obs import OBS
 from .eval.fig3 import run_fig3
 from .eval.fig4 import run_fig4
 from .eval.fig5 import run_fig5
@@ -96,6 +102,20 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="bound the cache directory at N entries "
                              "with LRU eviction (default: unbounded; "
                              "see also 'repro cache prune')")
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Platform-observability options (commands that run many points)."""
+    parser.add_argument("--obs-trace", default=None, metavar="FILE",
+                        help="record harness spans and metrics (cache "
+                             "hits, pool reuse, points/sec) and export "
+                             "them as Chrome trace-event JSON to FILE "
+                             "(open in Perfetto or chrome://tracing; "
+                             "summarize with 'repro obs summary FILE')")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="profile execution phases with cProfile "
+                             "and dump the hottest phase's pstats to "
+                             "FILE (requires --jobs 1)")
 
 
 def _runner_options(args):
@@ -263,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "variant/seed (bit-identical results; "
                           "incompatible with --jobs)")
     _add_jobs(swp)
+    _add_obs(swp)
 
     explore = sub.add_parser(
         "explore", help="budgeted design-space search campaign "
@@ -326,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "identical journal; incompatible with "
                               "--jobs)")
     _add_jobs(explore)
+    _add_obs(explore)
 
     front = sub.add_parser(
         "frontier", help="rankings + Pareto frontier of a saved "
@@ -391,6 +413,16 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument("--full", action="store_true",
                        help="paper scale (256 cores; slow)")
     _add_jobs(repro)
+    _add_obs(repro)
+
+    obsp = sub.add_parser(
+        "obs", help="platform-observability artifacts (trace summaries)")
+    obsp.add_argument("action", choices=("summary",),
+                      help="'summary' renders utilization, cache and "
+                           "throughput figures from an artifact")
+    obsp.add_argument("file",
+                      help="an --obs-trace Chrome trace JSON, or a "
+                           "campaign journal.json (wall_ms attribution)")
     return parser
 
 
@@ -716,14 +748,32 @@ def cmd_cache(args) -> str:
             raise ConfigError(
                 f"--max-entries must be >= 0, got {args.max_entries}")
         removed = cache.prune(args.max_entries)
+        # Persist the eviction count so future 'stats' runs see it.
+        cache.flush_counters()
     stats = cache.stats()
     rows = [("path", stats["path"]),
             ("entries", stats["entries"]),
             ("bytes", stats["bytes"])]
     if removed is not None:
         rows.append(("evicted (LRU)", removed))
+    lifetime = cache.lifetime_stats()
+    looked = lifetime["hits"] + lifetime["misses"]
+    rows.extend([
+        ("lifetime hits", lifetime["hits"]),
+        ("lifetime misses", lifetime["misses"]),
+        ("lifetime stores", lifetime["stores"]),
+        ("lifetime evictions", lifetime["evictions"]),
+        ("lifetime hit rate",
+         f"{100.0 * lifetime['hits'] / looked:.1f}%" if looked
+         else "n/a"),
+    ])
     return render_table(["field", "value"], rows,
                         title=f"result cache {args.action}")
+
+
+def cmd_obs(args) -> str:
+    from .obs.summary import render_summary
+    return render_summary(args.file)
 
 
 # -- legacy workload shortcuts (spec shims) ------------------------------------
@@ -826,6 +876,7 @@ COMMANDS = {
     "explore": cmd_explore,
     "frontier": cmd_frontier,
     "cache": cmd_cache,
+    "obs": cmd_obs,
     "trace": cmd_trace,
     "histogram": cmd_histogram,
     "queue": cmd_queue,
@@ -839,8 +890,35 @@ COMMANDS = {
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    trace_file = getattr(args, "obs_trace", None)
+    profile_file = getattr(args, "profile", None)
+    observing = bool(trace_file or profile_file)
     try:
-        print(COMMANDS[args.command](args))
+        if profile_file and getattr(args, "jobs", 1) != 1:
+            from .engine.errors import ConfigError
+            raise ConfigError(
+                "--profile needs --jobs 1 (cProfile cannot follow "
+                "worker processes)")
+        if observing:
+            OBS.enable(profile=bool(profile_file))
+        try:
+            out = COMMANDS[args.command](args)
+            notes = []
+            if trace_file:
+                notes.append(f"obs trace: "
+                             f"{OBS.export_chrome_trace(trace_file)}")
+            if profile_file:
+                phase = OBS.dump_profile(profile_file)
+                notes.append(f"profile ({phase or 'no phase ran'}): "
+                             f"{profile_file}"
+                             if phase else "profile: no phase ran, "
+                                           "nothing dumped")
+            if notes:
+                out += "\n\n" + "\n".join(notes)
+            print(out)
+        finally:
+            if observing:
+                OBS.disable()
     except ReproError as exc:
         print(f"repro: {exc}")
         return 2

@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..engine.errors import ConfigError
+from ..obs import OBS
 from ..scenarios.registry import get_workload
 from ..scenarios.run import (
     METRICS,
@@ -73,6 +75,17 @@ class Evaluation:
     cached: bool
     objectives: dict
     scalars: dict
+    #: Simulation wall-clock attributed to this record, in
+    #: milliseconds: fresh points carry their batch's simulate time
+    #: amortized evenly across the batch's fresh points (the runner
+    #: reassembles results in proposal order, so per-point walls are
+    #: not individually observable); free points carry 0.0.  The one
+    #: journal field that is *not* deterministic — journal comparisons
+    #: in tests strip it.
+    wall_ms: float = 0.0
+    #: True when the record was served by the :class:`ResultCache`
+    #: (``cached`` is broader: it also covers repeats and replays).
+    cache_hit: bool = False
 
     def to_record(self) -> dict:
         return {
@@ -86,12 +99,17 @@ class Evaluation:
             "cached": self.cached,
             "objectives": dict(self.objectives),
             "scalars": dict(self.scalars),
+            "wall_ms": self.wall_ms,
+            "cache_hit": self.cache_hit,
         }
 
     @classmethod
     def from_record(cls, record: dict) -> "Evaluation":
+        # Tolerate records missing post-v1 fields (wall_ms, cache_hit):
+        # old journals replay with the fields' defaults.
         return cls(**{f.name: record[f.name]
-                      for f in dataclasses.fields(cls)})
+                      for f in dataclasses.fields(cls)
+                      if f.name in record})
 
 
 @dataclass
@@ -273,37 +291,42 @@ class Campaign:
         generator = self.sampler.batches(self.space, self.budget, rng)
         scores = None
         batch_index = 0
-        try:
-            while True:
-                try:
-                    batch = generator.send(scores)
-                except StopIteration:
-                    break
-                outcome = self._run_batch(batch, batch_index, replay,
-                                          evaluations, seen, paid)
-                paid, truncated = outcome
-                self._write(journal, evaluations, paid, "partial")
-                if truncated:
-                    status = "budget"
-                    break
-                primary = self.objectives[0]
-                start = len(evaluations) - len(batch.combos)
-                scores = [primary.canonical(
-                    evaluations[start + offset].objectives[primary.metric])
-                    for offset in range(len(batch.combos))]
-                batch_index += 1
-        except BaseException:
-            # A failing objective extraction (or a Ctrl-C) must not
-            # discard the simulations that already finished: flush what
-            # landed so --resume can replay it after the fix.  ``paid``
-            # is recomputed from the records themselves — the local is
-            # stale when the failing batch already appended paid ones.
-            flushed_paid = sum(1 for e in evaluations if not e.cached)
-            self._write(journal, evaluations, flushed_paid, "partial")
-            raise
-        finally:
-            generator.close()
-        journal = self._finalize(journal, evaluations, paid, status)
+        with OBS.span("campaign", cat="campaign",
+                      workload=self.base.workload, budget=self.budget,
+                      sampler=self.sampler.name):
+            try:
+                while True:
+                    try:
+                        batch = generator.send(scores)
+                    except StopIteration:
+                        break
+                    outcome = self._run_batch(batch, batch_index, replay,
+                                              evaluations, seen, paid)
+                    paid, truncated = outcome
+                    self._write(journal, evaluations, paid, "partial")
+                    if truncated:
+                        status = "budget"
+                        break
+                    primary = self.objectives[0]
+                    start = len(evaluations) - len(batch.combos)
+                    scores = [primary.canonical(
+                        evaluations[start + offset]
+                        .objectives[primary.metric])
+                        for offset in range(len(batch.combos))]
+                    batch_index += 1
+            except BaseException:
+                # A failing objective extraction (or a Ctrl-C) must not
+                # discard the simulations that already finished: flush
+                # what landed so --resume can replay it after the fix.
+                # ``paid`` is recomputed from the records themselves —
+                # the local is stale when the failing batch already
+                # appended paid ones.
+                flushed_paid = sum(1 for e in evaluations if not e.cached)
+                self._write(journal, evaluations, flushed_paid, "partial")
+                raise
+            finally:
+                generator.close()
+            journal = self._finalize(journal, evaluations, paid, status)
         return CampaignResult(journal=journal, evaluations=evaluations,
                               paid=paid, status=status,
                               objectives=list(self.objectives),
@@ -318,6 +341,13 @@ class Campaign:
         this campaign, (3) the result cache, and only then (4) fresh
         simulation — the single path that costs budget.
         """
+        with OBS.span("schedule-batch", cat="schedule", batch=batch_index,
+                      rung=batch.rung, fidelity=batch.fidelity):
+            return self._schedule_batch(batch, batch_index, replay,
+                                        evaluations, seen, paid)
+
+    def _schedule_batch(self, batch, batch_index: int, replay: list,
+                        evaluations: list, seen: dict, paid: int):
         planned = []                 # (combo, spec, source, payload)
         fresh_specs = []
         batch_hashes = set()         # planned earlier in *this* batch
@@ -368,7 +398,13 @@ class Campaign:
                 planned.append((combo, spec, "fresh", None))
             else:
                 planned.append((combo, spec, "cache", hit))
+        sim_start = time.perf_counter()
         computed = self._simulate(fresh_specs)
+        sim_ms = (time.perf_counter() - sim_start) * 1000.0
+        # Per-point simulate walls are not individually observable (the
+        # runner reassembles results in proposal order), so the batch's
+        # simulate time amortizes evenly across its fresh points.
+        fresh_wall = round(sim_ms / len(computed), 3) if computed else 0.0
         fresh_iter = iter(computed)
         for combo, spec, source, payload in planned:
             index = len(evaluations)
@@ -377,11 +413,13 @@ class Campaign:
                 evaluation.index = index
                 evaluation.batch = batch_index
             elif source == "repeat":
+                # The repeat itself simulates nothing and hits no
+                # cache, whatever its first occurrence did.
                 evaluation = dataclasses.replace(
                     seen[spec.stable_hash()], index=index,
                     batch=batch_index, rung=batch.rung,
                     fidelity=batch.fidelity, overrides=dict(combo),
-                    cached=True)
+                    cached=True, wall_ms=0.0, cache_hit=False)
             else:
                 result = payload if source == "cache" else next(fresh_iter)
                 values = {
@@ -394,9 +432,16 @@ class Campaign:
                     spec=spec.to_dict(), spec_hash=spec.stable_hash(),
                     cached=(source == "cache"),
                     objectives=values,
-                    scalars=_json_scalars(result.scalars()))
+                    scalars=_json_scalars(result.scalars()),
+                    wall_ms=0.0 if source == "cache" else fresh_wall,
+                    cache_hit=(source == "cache"))
             seen.setdefault(evaluation.spec_hash, evaluation)
             evaluations.append(evaluation)
+        if OBS.enabled:
+            OBS.inc("campaign.points", len(planned))
+            OBS.inc("campaign.paid", len(fresh_specs))
+            OBS.inc("campaign.free", len(planned) - len(fresh_specs))
+            OBS.gauge("campaign.budget_remaining", self.budget - paid)
         return paid, truncated
 
     def _simulate(self, specs: list) -> list:
@@ -431,6 +476,10 @@ class Campaign:
         journal["best"] = best.index if best is not None else None
         journal["frontier"] = [e.index for e in result.frontier()]
         self._write(journal, evaluations, paid, status)
+        if self.cache is not None:
+            # A batch served entirely from the cache never reaches
+            # run_scenarios' flush; settle the sidecar totals here.
+            self.cache.flush_counters()
         return journal
 
 

@@ -20,8 +20,14 @@ import os
 from ..engine.errors import ConfigError
 from .schema import SchemaError, validate_journal
 
-#: Bump when the journal layout changes incompatibly.
-JOURNAL_VERSION = 1
+#: Bump when the journal layout changes incompatibly.  Version 2 added
+#: per-evaluation ``wall_ms``/``cache_hit`` time attribution; version-1
+#: journals carry neither but stay valid and resumable (the fields
+#: default on replay), hence :data:`COMPATIBLE_VERSIONS`.
+JOURNAL_VERSION = 2
+
+#: Journal versions this code can validate and resume.
+COMPATIBLE_VERSIONS = (1, 2)
 
 #: File name inside a campaign directory.
 JOURNAL_NAME = "journal.json"
@@ -89,10 +95,10 @@ def check_resumable(journal: dict, campaign: dict) -> None:
     and hash-checked, so a budget-sensitive custom sampler that
     proposes differently still fails loudly rather than mixing runs).
     """
-    if journal.get("version") != JOURNAL_VERSION:
+    if journal.get("version") not in COMPATIBLE_VERSIONS:
         raise ConfigError(
-            f"journal version {journal.get('version')!r} does not match "
-            f"this code's version {JOURNAL_VERSION}")
+            f"journal version {journal.get('version')!r} is not among "
+            f"the versions this code resumes {COMPATIBLE_VERSIONS}")
     recorded = journal["campaign"]
     for key in sorted(set(recorded) | set(campaign)):
         if key != "budget" and recorded.get(key) != campaign.get(key):

@@ -71,6 +71,15 @@ def render_journal(journal: dict, width: int = 56, top: int = 10) -> str:
                    f"({cached} free of {len(records)} evaluations)"),
         ("status", journal["status"]),
     ]
+    # v2 journals attribute simulation time per record; a v1 journal
+    # (or an all-free campaign) sums to zero and the row stays useful.
+    wall_ms = sum(record.get("wall_ms", 0.0) for record in records)
+    if wall_ms > 0:
+        hits = sum(1 for record in records
+                   if record.get("cache_hit", False))
+        summary_rows.append(
+            ("wall", f"{wall_ms / 1000.0:.2f}s simulated "
+                     f"({hits} cache hits)"))
     parts = [render_table(["field", "value"], summary_rows,
                           title="campaign")]
     ranking = journal_ranking(journal)

@@ -32,7 +32,12 @@ def validate_journal(data: dict) -> None:
     if not isinstance(data, dict):
         raise SchemaError(
             f"journal must be a dict, got {type(data).__name__}")
-    _require(data, "version", int, "journal")
+    from .journal import COMPATIBLE_VERSIONS
+    version = _require(data, "version", int, "journal")
+    if version not in COMPATIBLE_VERSIONS:
+        raise SchemaError(
+            f"journal: version must be one of {COMPATIBLE_VERSIONS}, "
+            f"got {version!r}")
     status = _require(data, "status", str, "journal")
     if status not in STATUSES:
         raise SchemaError(
@@ -101,6 +106,15 @@ def _check_evaluation(record, position: int, objectives) -> None:
                           f"digest, got {spec_hash!r}")
     if "cached" not in record or not isinstance(record["cached"], bool):
         raise SchemaError(f"{where}: 'cached' must be a bool")
+    # v2 time-attribution fields; optional so v1 journals still pass.
+    if "wall_ms" in record:
+        wall = record["wall_ms"]
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) \
+                or wall < 0:
+            raise SchemaError(
+                f"{where}: 'wall_ms' must be a number >= 0, got {wall!r}")
+    if "cache_hit" in record and not isinstance(record["cache_hit"], bool):
+        raise SchemaError(f"{where}: 'cache_hit' must be a bool")
     values = _require(record, "objectives", dict, where)
     for text in objectives:
         metric = text.split(":", 1)[1]

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Callable, Hashable
 
+from ..obs import OBS
+
 
 class BatchRunner:
     """A pool of reusable machines, keyed by machine-equivalence class.
@@ -51,9 +53,13 @@ class BatchRunner:
         if machine is not None and machine.resettable:
             machine.reset()
             self.resets += 1
+            if OBS.enabled:
+                OBS.inc("pool.reset")
             return machine
         machine = build()
         self.builds += 1
+        if OBS.enabled:
+            OBS.inc("pool.build")
         self._machines[key] = machine
         return machine
 

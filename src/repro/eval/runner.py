@@ -27,15 +27,28 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import multiprocessing
 import os
 import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..obs import OBS
+
 #: Bump when the cached result format changes incompatibly (e.g. a
 #: measured dataclass gains fields); invalidates every existing entry.
 CACHE_VERSION = 1
+
+#: Sidecar file (inside the cache directory) accumulating lifetime
+#: hit/miss/store/evict totals across processes; see
+#: :meth:`ResultCache.flush_counters`.
+COUNTERS_NAME = "counters.json"
+
+#: Version stamp of the sidecar layout.
+COUNTERS_VERSION = 1
+
+_COUNTER_KEYS = ("hits", "misses", "stores", "evictions", "write_errors")
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 _MISS = object()
@@ -163,6 +176,9 @@ class ResultCache:
         self.stores = 0
         self.write_errors = 0
         self.evictions = 0
+        #: Counter values already merged into the sidecar, so
+        #: :meth:`flush_counters` writes deltas and stays idempotent.
+        self._flushed = {key: 0 for key in _COUNTER_KEYS}
 
     def _key(self, call: ExperimentCall) -> str:
         return self._key_for(call.config_key())
@@ -191,6 +207,8 @@ class ResultCache:
         key = self._key_for(config_hash)
         if key in self._memory:
             self.hits += 1
+            if OBS.enabled:
+                OBS.inc("cache.hit")
             self._touch(key)
             return self._memory[key]
         try:
@@ -198,9 +216,13 @@ class ResultCache:
                 result = pickle.load(handle)
         except (OSError, pickle.PickleError, EOFError):
             self.misses += 1
+            if OBS.enabled:
+                OBS.inc("cache.miss")
             return default
         self._memory[key] = result
         self.hits += 1
+        if OBS.enabled:
+            OBS.inc("cache.hit")
         self._touch(key)
         return result
 
@@ -233,6 +255,8 @@ class ResultCache:
             self.write_errors += 1
             return
         self.stores += 1
+        if OBS.enabled:
+            OBS.inc("cache.store")
         if self.max_entries is not None:
             if self._disk_count is None:
                 self._disk_count = len(self._entries())
@@ -273,6 +297,63 @@ class ResultCache:
             "evictions": self.evictions,
         }
 
+    def _counters_file(self) -> str:
+        return os.path.join(self.path, COUNTERS_NAME)
+
+    def _read_counters(self) -> dict:
+        """The sidecar's totals (zeros when absent or unreadable —
+        counters are diagnostics, never worth failing a run over)."""
+        try:
+            with open(self._counters_file()) as stream:
+                data = json.load(stream)
+            counters = data["counters"]
+            return {key: int(counters.get(key, 0))
+                    for key in _COUNTER_KEYS}
+        except (OSError, ValueError, TypeError, KeyError):
+            return {key: 0 for key in _COUNTER_KEYS}
+
+    def flush_counters(self) -> None:
+        """Merge this process's unflushed hit/miss/store/evict deltas
+        into the ``counters.json`` sidecar (read-modify-atomic-write).
+
+        Called by the runner layers after every sweep/campaign batch,
+        so ``repro cache stats`` reports *lifetime* rates across all
+        the processes that ever used the directory.  Idempotent: each
+        delta is written exactly once.  Best-effort like the cache
+        itself — an unwritable sidecar degrades to in-process counts.
+        """
+        current = {"hits": self.hits, "misses": self.misses,
+                   "stores": self.stores, "evictions": self.evictions,
+                   "write_errors": self.write_errors}
+        delta = {key: current[key] - self._flushed[key]
+                 for key in _COUNTER_KEYS}
+        if not any(delta.values()):
+            return
+        totals = self._read_counters()
+        for key in _COUNTER_KEYS:
+            totals[key] += delta[key]
+        tmp = self._counters_file() + ".tmp"
+        try:
+            with open(tmp, "w") as stream:
+                json.dump({"version": COUNTERS_VERSION,
+                           "counters": totals}, stream, indent=2,
+                          sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, self._counters_file())
+        except OSError:
+            return
+        self._flushed = current
+
+    def lifetime_stats(self) -> dict:
+        """Sidecar totals plus this process's not-yet-flushed deltas."""
+        totals = self._read_counters()
+        current = {"hits": self.hits, "misses": self.misses,
+                   "stores": self.stores, "evictions": self.evictions,
+                   "write_errors": self.write_errors}
+        for key in _COUNTER_KEYS:
+            totals[key] += current[key] - self._flushed[key]
+        return totals
+
     def prune(self, max_entries: Optional[int] = None) -> int:
         """Evict least-recently-used entries beyond ``max_entries``.
 
@@ -297,6 +378,8 @@ class ResultCache:
             self._memory.pop(key, None)
             removed += 1
         self.evictions += removed
+        if removed and OBS.enabled:
+            OBS.inc("cache.evict", removed)
         self._disk_count = len(entries) - removed
         return removed
 
@@ -313,6 +396,24 @@ def _invoke(payload: tuple):
     """Pool worker: unpack and run one call (module-level for pickling)."""
     fn, args, kwargs = payload
     return fn(*args, **kwargs)
+
+
+def _invoke_observed(payload: tuple):
+    """Observed pool worker: run one call under a fresh obs session and
+    ship ``(result, snapshot)`` back for deterministic merging.
+
+    Each call gets its own session (workers are reused across calls,
+    and a per-call snapshot is what lets the parent merge in *call*
+    order regardless of which worker ran what), so ``jobs=1`` and
+    ``jobs=N`` report identical counter totals and span trees.
+    """
+    fn, args, kwargs = payload
+    OBS.enable()
+    try:
+        result = fn(*args, **kwargs)
+        return result, OBS.snapshot()
+    finally:
+        OBS.disable()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -366,6 +467,8 @@ def run_experiments(calls: Sequence[ExperimentCall], jobs: int = 1,
         pending = list(enumerate(calls))
 
     if not pending:
+        if cache is not None:
+            cache.flush_counters()
         return results
     if jobs == 1 or len(pending) == 1:
         computed = [call.invoke() for _index, call in pending]
@@ -374,11 +477,23 @@ def run_experiments(calls: Sequence[ExperimentCall], jobs: int = 1,
                     for _index, call in pending]
         workers = min(jobs, len(payloads))
         with multiprocessing.Pool(processes=workers) as pool:
-            computed = pool.map(_invoke, payloads, chunksize=1)
+            if OBS.enabled:
+                # Workers record their own spans/counters; snapshots
+                # come back in call order (pool.map preserves it), so
+                # merging here is deterministic for any jobs value.
+                computed = []
+                for result, snap in pool.map(_invoke_observed, payloads,
+                                             chunksize=1):
+                    OBS.merge_worker(snap)
+                    computed.append(result)
+            else:
+                computed = pool.map(_invoke, payloads, chunksize=1)
     for (index, call), result in zip(pending, computed):
         results[index] = result
         if cache is not None:
             cache.store(call, result)
+    if cache is not None:
+        cache.flush_counters()
     return results
 
 

@@ -1,0 +1,41 @@
+"""Platform observability: spans, metrics and trace export.
+
+PR 3's telemetry watches the *simulated machine*; this package watches
+the *harness running it* — the runner and its cache, the warm-machine
+pool, the campaign engine.  One process-wide session (:data:`OBS`)
+collects:
+
+* nested wall-clock **spans** (``campaign → schedule-batch → point →
+  build/run/collect-stats``) that merge deterministically across
+  ``--jobs`` worker processes and export as Chrome trace-event JSON
+  for Perfetto / ``chrome://tracing``;
+* **metrics** — cache hit/miss/store/evict counters, pool build/reset
+  counters, campaign budget gauges, per-category span timers;
+* opt-in per-phase **cProfile** accumulation (``--profile``).
+
+Everything is disabled by default at one-branch cost (bench-guarded by
+``benchmarks/bench_obs.py``); the CLI enables it via ``--obs-trace
+FILE`` / ``--profile OUT`` on ``repro sweep/explore/reproduce`` and
+reads artifacts back with ``repro obs summary``.  Exported traces are
+schema-validated by ``python -m repro.obs`` exactly like telemetry
+reports and campaign journals.
+"""
+
+from .metrics import MetricsRegistry
+from .profile import PhaseProfiler
+from .schema import TRACE_VERSION, SchemaError, validate_trace
+from .session import OBS, ObsSession
+from .summary import render_summary
+from .tracer import SpanTracer
+
+__all__ = [
+    "MetricsRegistry",
+    "OBS",
+    "ObsSession",
+    "PhaseProfiler",
+    "SchemaError",
+    "SpanTracer",
+    "TRACE_VERSION",
+    "render_summary",
+    "validate_trace",
+]

@@ -1,0 +1,14 @@
+"""``python -m repro.obs <trace.json> [...]`` — schema validation.
+
+Thin wrapper over :func:`repro.obs.schema.main` so CI can validate
+exported platform traces without tripping runpy's already-imported-
+module warning (the same arrangement as ``python -m repro.telemetry``
+and ``python -m repro.dse``).
+"""
+
+import sys
+
+from .schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

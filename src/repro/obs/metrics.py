@@ -1,0 +1,90 @@
+"""Counters, gauges and timers for the experiment platform.
+
+The simulator's own counters (:mod:`repro.engine.stats`) measure the
+*simulated machine*; this registry measures the *harness running it* —
+cache hits, pool reuse, points per second.  Three shapes cover every
+instrumentation site:
+
+* **counters** — monotonically increasing event counts (``cache.hit``,
+  ``pool.build``): :meth:`MetricsRegistry.inc`;
+* **gauges** — last-written point-in-time values
+  (``campaign.budget_remaining``): :meth:`MetricsRegistry.gauge`;
+* **timers** — duration distributions (``span.point``,
+  ``span.phase``): :meth:`MetricsRegistry.observe` accumulates count,
+  total, min and max in seconds.
+
+Everything is plain dicts of JSON scalars so a snapshot pickles across
+worker processes and embeds directly in the exported trace document;
+:meth:`MetricsRegistry.merge` folds a worker's snapshot into the
+parent's registry (counters and timers add, gauges last-write-win),
+which is what makes ``jobs=1`` and ``jobs=N`` runs report identical
+totals.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """In-process metric store; see the module docstring for the model."""
+
+    def __init__(self) -> None:
+        self.counters: dict = {}
+        self.gauges: dict = {}
+        self.timers: dict = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold one duration into timer ``name``."""
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = {"count": 1, "total_s": seconds,
+                                 "min_s": seconds, "max_s": seconds}
+            return
+        timer["count"] += 1
+        timer["total_s"] += seconds
+        if seconds < timer["min_s"]:
+            timer["min_s"] = seconds
+        if seconds > timer["max_s"]:
+            timer["max_s"] = seconds
+
+    def merge(self, counters: dict = None, gauges: dict = None,
+              timers: dict = None) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and timers are additive across processes; gauges are
+        point-in-time, so the merged-in value simply wins.
+        """
+        for name, amount in (counters or {}).items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, value in (gauges or {}).items():
+            self.gauges[name] = value
+        for name, timer in (timers or {}).items():
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = dict(timer)
+                continue
+            mine["count"] += timer["count"]
+            mine["total_s"] += timer["total_s"]
+            mine["min_s"] = min(mine["min_s"], timer["min_s"])
+            mine["max_s"] = max(mine["max_s"], timer["max_s"])
+
+    def snapshot(self) -> dict:
+        """A picklable/JSON-able copy of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {name: dict(timer)
+                       for name, timer in self.timers.items()},
+        }
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()

@@ -1,0 +1,148 @@
+"""Structural validation of exported platform traces.
+
+CI records ``--obs-trace`` files for the smoke sweeps and campaigns and
+validates them here before uploading — a trace whose events drift from
+the Chrome trace-event layout (and from the ``otherData`` metrics block
+``repro obs summary`` reads) fails the pipeline instead of shipping a
+file Perfetto cannot load.  Zero schema dependencies, same as the
+telemetry and journal validators: plain checks over the parsed dict.
+
+Run standalone over one or more files::
+
+    python -m repro.obs trace.json [more.json ...]
+
+exits 0 when every file validates, 2 with a message otherwise.
+
+(The :class:`SchemaError`/``_require`` pair is deliberately local
+rather than imported from :mod:`repro.telemetry.schema`: the engine's
+batch pool reports through :mod:`repro.obs`, and pulling the telemetry
+package — whose init loads every built-in probe — into that import
+chain would be a cycle waiting to happen.)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from ..engine.errors import ConfigError
+
+#: Bump when the exported trace layout changes incompatibly.
+TRACE_VERSION = 1
+
+#: Event phases we emit: complete spans and metadata.
+_PHASES = ("X", "M")
+
+_TIMER_KEYS = ("count", "total_s", "min_s", "max_s")
+
+
+class SchemaError(ConfigError):
+    """An exported trace does not match the documented shape."""
+
+
+def _require(data: dict, key: str, types, where: str):
+    if key not in data:
+        raise SchemaError(f"{where}: missing key {key!r}")
+    value = data[key]
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise SchemaError(
+            f"{where}: {key!r} must be {types}, got {type(value).__name__}")
+    return value
+
+
+def validate_trace(data: dict) -> None:
+    """Raise :class:`SchemaError` unless ``data`` is a valid trace."""
+    if not isinstance(data, dict):
+        raise SchemaError(
+            f"trace must be a dict, got {type(data).__name__}")
+    events = _require(data, "traceEvents", list, "trace")
+    ids = set()
+    parents = []
+    for position, event in enumerate(events):
+        where = f"trace.traceEvents[{position}]"
+        if not isinstance(event, dict):
+            raise SchemaError(f"{where}: must be a dict")
+        _require(event, "name", str, where)
+        phase = _require(event, "ph", str, where)
+        if phase not in _PHASES:
+            raise SchemaError(
+                f"{where}: ph must be one of {_PHASES}, got {phase!r}")
+        _require(event, "pid", int, where)
+        _require(event, "tid", int, where)
+        args = _require(event, "args", dict, where)
+        if phase == "M":
+            if event["name"] not in ("process_name", "thread_name"):
+                raise SchemaError(
+                    f"{where}: unknown metadata event {event['name']!r}")
+            _require(args, "name", str, f"{where}.args")
+            continue
+        _require(event, "cat", str, where)
+        for key in ("ts", "dur"):
+            value = _require(event, key, (int, float), where)
+            if value < 0:
+                raise SchemaError(f"{where}: {key} must be >= 0, "
+                                  f"got {value!r}")
+        span_id = _require(args, "id", int, f"{where}.args")
+        if span_id in ids:
+            raise SchemaError(f"{where}: duplicate span id {span_id}")
+        ids.add(span_id)
+        if "parent" not in args:
+            raise SchemaError(f"{where}.args: missing key 'parent'")
+        parent = args["parent"]
+        if parent is not None and not isinstance(parent, int):
+            raise SchemaError(
+                f"{where}.args: parent must be a span id or null, "
+                f"got {parent!r}")
+        if parent is not None:
+            parents.append((where, parent))
+    for where, parent in parents:
+        if parent not in ids:
+            raise SchemaError(
+                f"{where}: orphaned span (parent {parent} is not among "
+                f"the recorded spans)")
+    other = data.get("otherData")
+    if other is None:
+        return
+    if not isinstance(other, dict):
+        raise SchemaError("trace: 'otherData' must be a dict")
+    _require(other, "version", int, "trace.otherData")
+    counters = _require(other, "counters", dict, "trace.otherData")
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError(
+                f"trace.otherData.counters[{name!r}]: must be an int, "
+                f"got {value!r}")
+    _require(other, "gauges", dict, "trace.otherData")
+    timers = _require(other, "timers", dict, "trace.otherData")
+    for name, timer in timers.items():
+        where = f"trace.otherData.timers[{name!r}]"
+        if not isinstance(timer, dict):
+            raise SchemaError(f"{where}: must be a dict")
+        for key in _TIMER_KEYS:
+            _require(timer, key, (int, float), where)
+
+
+def main(argv=None) -> int:
+    """Validate trace files given on the command line."""
+    paths = sys.argv[1:] if argv is None else list(argv)
+    if not paths:
+        print("usage: python -m repro.obs trace.json [...]")
+        return 2
+    for path in paths:
+        try:
+            with open(path) as stream:
+                data = json.load(stream)
+            validate_trace(data)
+        except (OSError, ValueError, SchemaError) as exc:
+            print(f"schema: {path}: {exc}")
+            return 2
+        spans = sum(1 for event in data["traceEvents"]
+                    if event.get("ph") == "X")
+        print(f"schema: {path}: ok ({spans} spans, "
+              f"{len(data.get('otherData', {}).get('counters', {}))} "
+              f"counters)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""``repro obs summary`` — utilization/cache/throughput from artifacts.
+
+Answers "where did the time go" without opening Perfetto, from either
+artifact the platform leaves behind:
+
+* an ``--obs-trace`` Chrome trace: wall clock and per-category busy
+  time come from the ``span.<cat>`` timers embedded in ``otherData``,
+  cache and pool ratios from the counters — no span re-walking;
+* a campaign ``journal.json``: the ``wall_ms``/``cache_hit`` fields
+  each evaluation records (journal v2) attribute campaign time with no
+  trace file at all, which is what ``repro explore`` runs in bulk CI
+  jobs rely on.
+
+The file kind is sniffed from its top-level keys, so the CLI is just
+``repro obs summary <file>`` either way.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..engine.errors import ConfigError
+
+
+def load_document(path: str) -> dict:
+    """Parse a JSON artifact, with CLI-grade error messages."""
+    try:
+        with open(path) as stream:
+            data = json.load(stream)
+    except OSError as exc:
+        raise ConfigError(f"cannot read {path!r}: {exc}")
+    except ValueError as exc:
+        raise ConfigError(f"{path!r} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path!r}: expected a JSON object")
+    return data
+
+
+def sniff(document: dict) -> str:
+    """``"trace"`` or ``"journal"``; anything else is an error."""
+    if "traceEvents" in document:
+        return "trace"
+    if "evaluations" in document:
+        return "journal"
+    raise ConfigError(
+        "not an --obs-trace file (no 'traceEvents') and not a campaign "
+        "journal (no 'evaluations')")
+
+
+def _ratio(part, whole) -> str:
+    if not whole:
+        return "n/a"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def _rate(count, seconds) -> str:
+    if seconds <= 0:
+        return "n/a"
+    return f"{count / seconds:.1f}"
+
+
+def trace_rows(document: dict) -> list:
+    """Summary rows for a validated Chrome trace document."""
+    from .schema import SchemaError, validate_trace
+    try:
+        validate_trace(document)
+    except SchemaError as exc:
+        raise ConfigError(f"trace failed validation: {exc}")
+    spans = [event for event in document["traceEvents"]
+             if event.get("ph") == "X"]
+    other = document.get("otherData", {})
+    counters = other.get("counters", {})
+    timers = other.get("timers", {})
+    wall_s = max((event["ts"] + event["dur"] for event in spans),
+                 default=0.0) / 1e6
+    lanes = {event["tid"] for event in spans} or {0}
+    points = timers.get("span.point", {}).get("count", 0)
+    busy_s = timers.get("span.point", {}).get("total_s", 0.0)
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    builds = counters.get("pool.build", 0)
+    resets = counters.get("pool.reset", 0)
+    rows = [
+        ("wall clock (s)", round(wall_s, 3)),
+        ("spans", len(spans)),
+        ("lanes", len(lanes)),
+        ("points run", points),
+        ("points/sec", _rate(points, wall_s)),
+        ("point utilization", _ratio(busy_s, wall_s * len(lanes))),
+        ("cache hit rate", _ratio(hits, hits + misses)),
+        ("cache stores", counters.get("cache.store", 0)),
+        ("cache evictions", counters.get("cache.evict", 0)),
+        ("pool reuse ratio", _ratio(resets, builds + resets)),
+    ]
+    for name in sorted(timers):
+        if not name.startswith("span."):
+            continue
+        timer = timers[name]
+        rows.append((f"{name[len('span.'):]} time (s)",
+                     round(timer["total_s"], 3)))
+    return rows
+
+
+def journal_rows(document: dict) -> list:
+    """Summary rows for a campaign journal (wall_ms attribution)."""
+    from ..dse.schema import SchemaError, validate_journal
+    try:
+        validate_journal(document)
+    except SchemaError as exc:
+        raise ConfigError(f"journal failed validation: {exc}")
+    evaluations = document["evaluations"]
+    paid = sum(1 for record in evaluations if not record["cached"])
+    cache_hits = sum(1 for record in evaluations
+                     if record.get("cache_hit", False))
+    wall_ms = sum(record.get("wall_ms", 0.0) for record in evaluations)
+    wall_s = wall_ms / 1000.0
+    return [
+        ("status", document["status"]),
+        ("evaluations", len(evaluations)),
+        ("paid (fresh sims)", paid),
+        ("free (cache/replay/repeat)", len(evaluations) - paid),
+        ("cache hits", cache_hits),
+        ("cache hit rate", _ratio(cache_hits, len(evaluations))),
+        ("simulated wall (s)", round(wall_s, 3)),
+        ("points/sec (paid)", _rate(paid, wall_s)),
+    ]
+
+
+def render_summary(path: str) -> str:
+    """The summary table for a trace or journal file at ``path``."""
+    from ..eval.reporting import render_table
+    document = load_document(path)
+    kind = sniff(document)
+    rows = (trace_rows(document) if kind == "trace"
+            else journal_rows(document))
+    return render_table(["field", "value"], rows,
+                        title=f"obs summary ({kind}): {path}")

@@ -1,0 +1,81 @@
+"""Nested wall-clock spans over the experiment platform.
+
+A *span* is one timed region of harness execution — a campaign, one
+scheduled batch, one scenario point, one phase inside a point — held as
+a plain dict so buffers pickle across worker processes and serialize
+straight into the Chrome trace-event document
+(:meth:`repro.obs.session.ObsSession.trace_document`):
+
+``{"id", "parent", "name", "cat", "start", "end", "track", "args"}``
+
+``start``/``end`` are absolute :func:`time.perf_counter` seconds.  On
+the platforms we run on ``perf_counter`` reads a system-wide monotonic
+clock, so timestamps recorded in forked pool workers share the parent's
+epoch and nest correctly after a merge.  ``track`` is the rendering
+lane (0 = the driving process; workers get stable lanes at merge time,
+see :meth:`~repro.obs.session.ObsSession.merge_worker`).
+
+The tracer is deliberately dumb: begin pushes, end pops, no locking (one
+tracer per process, and the simulator is single-threaded by design).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SpanTracer:
+    """Per-process span buffer with an open-span stack."""
+
+    def __init__(self) -> None:
+        #: Closed spans, in closing order.
+        self.spans: list = []
+        self._open: list = []
+        self.next_id = 0
+
+    def begin(self, name: str, cat: str, args: dict) -> dict:
+        """Open a nested span; returns the (mutable) span record."""
+        span = {
+            "id": self.next_id,
+            "parent": self._open[-1]["id"] if self._open else None,
+            "name": name,
+            "cat": cat,
+            "start": time.perf_counter(),
+            "end": None,
+            "track": 0,
+            "args": args,
+        }
+        self.next_id += 1
+        self._open.append(span)
+        return span
+
+    def end(self, span: dict) -> float:
+        """Close ``span``; returns its duration in seconds.
+
+        Closing out of order (an exception unwound past an inner span)
+        force-closes everything opened after ``span`` at the same
+        instant, so the buffer never holds a torn stack.
+        """
+        now = time.perf_counter()
+        while self._open:
+            open_span = self._open.pop()
+            open_span["end"] = now
+            self.spans.append(open_span)
+            if open_span is span:
+                break
+        return now - span["start"]
+
+    @property
+    def current(self) -> dict:
+        """The innermost open span, or ``None`` at top level."""
+        return self._open[-1] if self._open else None
+
+    def adopt(self, spans: list) -> None:
+        """Append already-closed spans from a worker (ids pre-rebased by
+        the session; see ``ObsSession.merge_worker``)."""
+        self.spans.extend(spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._open.clear()
+        self.next_id = 0

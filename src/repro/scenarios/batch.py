@@ -33,6 +33,7 @@ import dataclasses
 from typing import Sequence
 
 from ..engine.batch import BatchRunner
+from ..obs import OBS
 from .registry import Workload, get_workload
 from .run import build_machine, execute
 from .spec import ScenarioSpec, variant_string
@@ -64,17 +65,21 @@ def execute_batch(specs: Sequence[ScenarioSpec]) -> list:
     results = []
     for spec in specs:
         workload = get_workload(spec.workload)
-        if type(workload).run is not Workload.run:
-            # Composite measurement (its own machines, its own rules).
-            results.append(workload.run(spec))
-            continue
-        machine = runner.acquire(machine_key(spec),
-                                 lambda s=spec: build_machine(s))
-        result = execute(workload, spec, machine=machine)
-        if result.stats is machine.stats:
-            # The pooled machine recycles its counter tree on the next
-            # acquire; detach a snapshot so the result stays immutable.
-            result = dataclasses.replace(
-                result, stats=result.stats.snapshot())
-        results.append(result)
+        with OBS.span(spec.workload, cat="point", variant=spec.variant,
+                      cores=spec.num_cores):
+            if type(workload).run is not Workload.run:
+                # Composite measurement (its own machines, its own rules).
+                results.append(workload.run(spec))
+                continue
+            with OBS.span("acquire", cat="phase"):
+                machine = runner.acquire(machine_key(spec),
+                                         lambda s=spec: build_machine(s))
+            result = execute(workload, spec, machine=machine)
+            if result.stats is machine.stats:
+                # The pooled machine recycles its counter tree on the
+                # next acquire; detach a snapshot so the result stays
+                # immutable.
+                result = dataclasses.replace(
+                    result, stats=result.stats.snapshot())
+            results.append(result)
     return results

@@ -26,6 +26,7 @@ from typing import Callable, Sequence
 
 from ..engine.errors import ConfigError
 from ..machine import Machine
+from ..obs import OBS
 from ..power.energy import EnergyModel
 from .registry import get_workload
 from .spec import ScenarioSpec
@@ -143,33 +144,36 @@ def execute(workload, spec: ScenarioSpec,
     machine instead of paying ``build_machine`` per point; it must be
     equivalent to ``build_machine(spec)`` or results will differ.
     """
-    if machine is None:
-        machine = build_machine(spec)
-    loaded = workload.load(machine, spec)
-    request = _PROBE_STACK[-1] if _PROBE_STACK else None
-    probes = (machine.attach_probes(request.take())
-              if request is not None and not request.consumed else [])
-    if spec.mode == "completion":
-        stats = machine.run()
-    elif spec.mode == "horizon":
-        stats = machine.run_for(spec.horizon)
-    else:  # watched
-        if loaded.watched is None:
-            raise ConfigError(
-                f"workload {spec.workload!r} provides no watched cores; "
-                f"mode='watched' is not available for it")
-        stats = machine.run_until_finished(loaded.watched)
-    if spec.mode == "completion" and loaded.verify is not None:
-        loaded.verify()
-    point, extra = (loaded.finish(stats) if loaded.finish is not None
-                    else (None, {}))
-    metrics = dict(extra)
-    for name in spec.metrics:
-        metrics[name] = METRICS[name](stats)
-    telemetry = None
-    if probes:
-        from ..telemetry.report import TelemetryReport
-        telemetry = TelemetryReport.collect(machine, probes, spec=spec)
+    with OBS.span("build", cat="phase"):
+        if machine is None:
+            machine = build_machine(spec)
+        loaded = workload.load(machine, spec)
+        request = _PROBE_STACK[-1] if _PROBE_STACK else None
+        probes = (machine.attach_probes(request.take())
+                  if request is not None and not request.consumed else [])
+    with OBS.span("run", cat="phase"):
+        if spec.mode == "completion":
+            stats = machine.run()
+        elif spec.mode == "horizon":
+            stats = machine.run_for(spec.horizon)
+        else:  # watched
+            if loaded.watched is None:
+                raise ConfigError(
+                    f"workload {spec.workload!r} provides no watched "
+                    f"cores; mode='watched' is not available for it")
+            stats = machine.run_until_finished(loaded.watched)
+    with OBS.span("collect-stats", cat="phase"):
+        if spec.mode == "completion" and loaded.verify is not None:
+            loaded.verify()
+        point, extra = (loaded.finish(stats) if loaded.finish is not None
+                        else (None, {}))
+        metrics = dict(extra)
+        for name in spec.metrics:
+            metrics[name] = METRICS[name](stats)
+        telemetry = None
+        if probes:
+            from ..telemetry.report import TelemetryReport
+            telemetry = TelemetryReport.collect(machine, probes, spec=spec)
     return ScenarioResult(
         spec=spec,
         cycles=stats.cycles,
@@ -185,7 +189,9 @@ def execute(workload, spec: ScenarioSpec,
 
 def _execute_spec(spec: ScenarioSpec) -> ScenarioResult:
     """Module-level entry for pool workers (picklable by name)."""
-    return get_workload(spec.workload).run(spec)
+    with OBS.span(spec.workload, cat="point", variant=spec.variant,
+                  cores=spec.num_cores):
+        return get_workload(spec.workload).run(spec)
 
 
 def scenario_cache_key(spec: ScenarioSpec) -> str:
@@ -280,6 +286,8 @@ def run_scenarios(specs: Sequence[ScenarioSpec], jobs: int = 1,
     else:
         pending = list(enumerate(specs))
     if not pending:
+        if cache is not None:
+            cache.flush_counters()
         return results
     if batch:
         from .batch import execute_batch
@@ -296,6 +304,8 @@ def run_scenarios(specs: Sequence[ScenarioSpec], jobs: int = 1,
             cache.store_hash(_cache_key(spec),
                              dataclasses.replace(result, stats=None,
                                                  telemetry=None))
+    if cache is not None:
+        cache.flush_counters()
     return results
 
 

@@ -102,3 +102,57 @@ def test_schema_cli_validates_and_rejects(tmp_path, journal, capsys):
     assert schema_main([str(bad)]) == 2
     assert "status" in capsys.readouterr().out
     assert schema_main([]) == 2
+
+
+# -- journal v1 compatibility (pre-wall_ms/cache_hit journals) -----------------
+
+
+def v1_journal(journal):
+    """A journal as written before the observability fields existed."""
+    old = json.loads(json.dumps(journal))
+    old["version"] = 1
+    for record in old["evaluations"]:
+        record.pop("wall_ms", None)
+        record.pop("cache_hit", None)
+    return old
+
+
+def test_current_journal_is_version_2_with_wall_attribution(journal):
+    assert journal["version"] == 2
+    for record in journal["evaluations"]:
+        assert "wall_ms" in record
+        assert isinstance(record["cache_hit"], bool)
+
+
+def test_v1_journal_still_validates(journal):
+    validate_journal(v1_journal(journal))
+
+
+def test_v1_journal_is_still_resumable(journal):
+    from repro.dse.journal import check_resumable
+    old = v1_journal(journal)
+    check_resumable(old, old["campaign"])
+
+
+def test_unknown_journal_version_rejected(journal):
+    from repro.dse.journal import check_resumable
+    future = dict(journal, version=3)
+    with pytest.raises(SchemaError, match="version"):
+        validate_journal(future)
+    with pytest.raises(ConfigError, match="version"):
+        check_resumable(future, future["campaign"])
+
+
+def test_schema_rejects_bad_wall_ms_and_cache_hit(journal):
+    broken = json.loads(json.dumps(journal))
+    broken["evaluations"][0]["wall_ms"] = -1.0
+    with pytest.raises(SchemaError, match="wall_ms"):
+        validate_journal(broken)
+    broken = json.loads(json.dumps(journal))
+    broken["evaluations"][0]["wall_ms"] = True
+    with pytest.raises(SchemaError, match="wall_ms"):
+        validate_journal(broken)
+    broken = json.loads(json.dumps(journal))
+    broken["evaluations"][0]["cache_hit"] = "yes"
+    with pytest.raises(SchemaError, match="cache_hit"):
+        validate_journal(broken)

@@ -1,0 +1,1 @@
+"""Platform observability: spans, metrics, traces, profiling, CLI."""

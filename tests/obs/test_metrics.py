@@ -1,0 +1,89 @@
+"""MetricsRegistry: counters, gauges, timers, cross-process merge."""
+
+from repro.obs import MetricsRegistry
+
+
+def test_counters_accumulate():
+    metrics = MetricsRegistry()
+    metrics.inc("cache.hit")
+    metrics.inc("cache.hit")
+    metrics.inc("cache.miss", 3)
+    assert metrics.counters == {"cache.hit": 2, "cache.miss": 3}
+
+
+def test_gauges_last_write_wins():
+    metrics = MetricsRegistry()
+    metrics.gauge("budget", 10)
+    metrics.gauge("budget", 7)
+    assert metrics.gauges == {"budget": 7}
+
+
+def test_timers_track_count_total_min_max():
+    metrics = MetricsRegistry()
+    for seconds in (0.2, 0.1, 0.4):
+        metrics.observe("span.point", seconds)
+    timer = metrics.timers["span.point"]
+    assert timer["count"] == 3
+    assert abs(timer["total_s"] - 0.7) < 1e-9
+    assert timer["min_s"] == 0.1
+    assert timer["max_s"] == 0.4
+
+
+def test_merge_is_additive_for_counters_and_timers():
+    ours = MetricsRegistry()
+    ours.inc("cache.hit", 2)
+    ours.observe("span.point", 0.3)
+    theirs = MetricsRegistry()
+    theirs.inc("cache.hit")
+    theirs.inc("pool.build")
+    theirs.observe("span.point", 0.1)
+    theirs.observe("span.phase", 0.2)
+    theirs.gauge("budget", 5)
+    ours.merge(**{key: theirs.snapshot()[key]
+                  for key in ("counters", "gauges", "timers")})
+    assert ours.counters == {"cache.hit": 3, "pool.build": 1}
+    assert ours.gauges == {"budget": 5}
+    assert ours.timers["span.point"]["count"] == 2
+    assert ours.timers["span.point"]["min_s"] == 0.1
+    assert ours.timers["span.point"]["max_s"] == 0.3
+    assert ours.timers["span.phase"]["count"] == 1
+
+
+def test_merge_order_does_not_change_totals():
+    parts = []
+    for index in range(3):
+        part = MetricsRegistry()
+        part.inc("n", index + 1)
+        part.observe("t", 0.1 * (index + 1))
+        parts.append(part.snapshot())
+    forward = MetricsRegistry()
+    backward = MetricsRegistry()
+    for snap in parts:
+        forward.merge(snap["counters"], snap["gauges"], snap["timers"])
+    for snap in reversed(parts):
+        backward.merge(snap["counters"], snap["gauges"], snap["timers"])
+    assert forward.counters == backward.counters
+    assert forward.timers["t"]["count"] == backward.timers["t"]["count"]
+    assert abs(forward.timers["t"]["total_s"]
+               - backward.timers["t"]["total_s"]) < 1e-9
+
+
+def test_snapshot_is_detached():
+    metrics = MetricsRegistry()
+    metrics.inc("n")
+    metrics.observe("t", 0.1)
+    snap = metrics.snapshot()
+    metrics.inc("n")
+    metrics.observe("t", 0.2)
+    assert snap["counters"] == {"n": 1}
+    assert snap["timers"]["t"]["count"] == 1
+
+
+def test_clear():
+    metrics = MetricsRegistry()
+    metrics.inc("n")
+    metrics.gauge("g", 1)
+    metrics.observe("t", 0.1)
+    metrics.clear()
+    assert metrics.snapshot() == {"counters": {}, "gauges": {},
+                                  "timers": {}}

@@ -1,0 +1,69 @@
+"""PhaseProfiler: single-active guard, accumulation, pstats dump."""
+
+import pstats
+
+from repro.obs import ObsSession, PhaseProfiler
+
+
+def test_single_active_guard():
+    profiler = PhaseProfiler()
+    assert profiler.start("outer")
+    assert not profiler.start("inner")      # nested phase skipped
+    profiler.stop("outer", 0.5)
+    assert profiler.start("inner")          # free again once released
+    profiler.stop("inner", 0.1)
+
+
+def test_wall_accumulates_across_occurrences():
+    profiler = PhaseProfiler()
+    for _ in range(3):
+        assert profiler.start("run")
+        profiler.stop("run", 0.2)
+    assert abs(profiler.wall["run"] - 0.6) < 1e-9
+    assert profiler.hottest() == "run"
+
+
+def test_hottest_picks_largest_wall_deterministically():
+    profiler = PhaseProfiler()
+    for name, seconds in (("build", 0.1), ("run", 0.9),
+                          ("collect-stats", 0.2)):
+        assert profiler.start(name)
+        profiler.stop(name, seconds)
+    assert profiler.hottest() == "run"
+
+
+def test_dump_writes_loadable_pstats(tmp_path):
+    profiler = PhaseProfiler()
+    assert profiler.start("run")
+    sum(i * i for i in range(1000))
+    profiler.stop("run", 0.01)
+    out = tmp_path / "profile.pstats"
+    assert profiler.dump(str(out)) == "run"
+    stats = pstats.Stats(str(out))
+    assert stats.total_calls > 0
+
+
+def test_dump_with_no_phases_returns_none(tmp_path):
+    assert PhaseProfiler().dump(str(tmp_path / "empty")) is None
+
+
+def test_session_profiles_only_phase_spans(tmp_path):
+    session = ObsSession()
+    session.enable(profile=True)
+    with session.span("point-like", cat="point"):    # not profiled
+        with session.span("run", cat="phase"):       # profiled
+            sum(i * i for i in range(1000))
+    session.disable()
+    assert session.profiler.wall == {"run": session.profiler.wall["run"]}
+    out = tmp_path / "profile.pstats"
+    assert session.dump_profile(str(out)) == "run"
+    pstats.Stats(str(out))
+
+
+def test_dump_profile_without_profiling_returns_none(tmp_path):
+    session = ObsSession()
+    session.enable(profile=False)
+    with session.span("run", cat="phase"):
+        pass
+    session.disable()
+    assert session.dump_profile(str(tmp_path / "none")) is None

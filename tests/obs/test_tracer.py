@@ -1,0 +1,136 @@
+"""SpanTracer + ObsSession span handles: nesting, null path, merge."""
+
+import pickle
+
+from repro.obs import ObsSession
+from repro.obs.session import _NULL_SPAN
+from repro.obs.tracer import SpanTracer
+
+
+def test_spans_nest_and_record_parentage():
+    tracer = SpanTracer()
+    outer = tracer.begin("campaign", "campaign", {})
+    inner = tracer.begin("point", "point", {"bins": 4})
+    assert inner["parent"] == outer["id"]
+    assert tracer.current is inner
+    tracer.end(inner)
+    tracer.end(outer)
+    assert tracer.current is None
+    assert [span["name"] for span in tracer.spans] == ["point", "campaign"]
+    assert all(span["end"] >= span["start"] for span in tracer.spans)
+
+
+def test_out_of_order_end_force_closes_inner_spans():
+    # An exception unwinding past inner spans closes them all at the
+    # same instant -- the buffer never holds a torn stack.
+    tracer = SpanTracer()
+    outer = tracer.begin("outer", "phase", {})
+    tracer.begin("inner", "phase", {})
+    tracer.end(outer)
+    assert tracer.current is None
+    assert len(tracer.spans) == 2
+    assert all(span["end"] is not None for span in tracer.spans)
+
+
+def test_ids_are_unique_and_monotonic():
+    tracer = SpanTracer()
+    spans = [tracer.begin(f"s{i}", "phase", {}) for i in range(4)]
+    for span in reversed(spans):
+        tracer.end(span)
+    assert [span["id"] for span in spans] == [0, 1, 2, 3]
+
+
+def test_disabled_session_returns_shared_null_span():
+    session = ObsSession()
+    assert session.span("anything", cat="point", bins=4) is _NULL_SPAN
+    with session.span("anything") as span:
+        assert span is None
+    assert session.tracer.spans == []
+
+
+def test_session_span_feeds_cat_timer():
+    session = ObsSession()
+    session.enable()
+    with session.span("build", cat="phase"):
+        pass
+    with session.span("p0", cat="point"):
+        pass
+    with session.span("p1", cat="point"):
+        pass
+    session.disable()
+    assert session.metrics.timers["span.phase"]["count"] == 1
+    assert session.metrics.timers["span.point"]["count"] == 2
+
+
+def test_enable_drops_previous_recording():
+    session = ObsSession()
+    session.enable()
+    with session.span("stale"):
+        pass
+    session.inc("stale.counter")
+    session.enable()
+    assert session.tracer.spans == []
+    assert session.metrics.counters == {}
+
+
+def test_merge_worker_rebases_ids_and_adopts_under_open_span():
+    parent = ObsSession()
+    parent.enable()
+    worker = ObsSession()
+    worker.enable()
+    with worker.span("point", cat="point"):
+        with worker.span("run", cat="phase"):
+            pass
+    worker.inc("cache.miss")
+    worker.disable()
+    # Snapshots must survive a pickle round-trip (pool.map transport).
+    snap = pickle.loads(pickle.dumps(worker.snapshot()))
+
+    with parent.span("schedule-batch", cat="schedule") as open_span:
+        parent.merge_worker(snap)
+    parent.disable()
+
+    by_name = {span["name"]: span for span in parent.tracer.spans}
+    assert by_name["point"]["parent"] == open_span["id"]
+    assert by_name["run"]["parent"] == by_name["point"]["id"]
+    assert by_name["point"]["track"] == by_name["run"]["track"] == 1
+    assert by_name["schedule-batch"]["track"] == 0
+    ids = [span["id"] for span in parent.tracer.spans]
+    assert len(ids) == len(set(ids))
+    assert parent.metrics.counters["cache.miss"] == 1
+    # Worker span.* timers merged too.
+    assert parent.metrics.timers["span.point"]["count"] == 1
+
+
+def test_merge_worker_assigns_stable_lanes_by_first_appearance():
+    parent = ObsSession()
+    parent.enable()
+    snaps = []
+    for pid in (111, 222, 111):
+        worker = ObsSession()
+        worker.enable()
+        with worker.span("point", cat="point"):
+            pass
+        snap = worker.snapshot()
+        snap["pid"] = pid
+        snaps.append(snap)
+    for snap in snaps:
+        parent.merge_worker(snap)
+    parent.disable()
+    tracks = [span["track"] for span in parent.tracer.spans]
+    assert tracks == [1, 2, 1]
+
+
+def test_merged_ids_do_not_collide_with_later_parent_spans():
+    parent = ObsSession()
+    parent.enable()
+    worker = ObsSession()
+    worker.enable()
+    with worker.span("point", cat="point"):
+        pass
+    parent.merge_worker(worker.snapshot())
+    with parent.span("late", cat="phase"):
+        pass
+    parent.disable()
+    ids = [span["id"] for span in parent.tracer.spans]
+    assert len(ids) == len(set(ids))

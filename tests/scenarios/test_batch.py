@@ -272,6 +272,10 @@ def test_cli_explore_batch_journal_identical(capsys, tmp_path):
     run_cli(capsys, argv + ["--batch", "--out", str(tmp_path / "batch")])
     plain = load_journal(str(tmp_path / "plain" / "journal.json"))
     batch = load_journal(str(tmp_path / "batch" / "journal.json"))
+    # wall_ms is real measured time, the one field allowed to differ.
+    for journal in (plain, batch):
+        for record in journal["evaluations"]:
+            assert record.pop("wall_ms") > 0
     assert batch == plain
 
 

@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_top_level_exports():
@@ -45,12 +45,13 @@ def test_subpackage_exports_resolve():
     import repro.power
     import repro.scenarios
     import repro.sync
+    import repro.obs
     import repro.telemetry
     import repro.workloads
 
     for module in (repro.algorithms, repro.arch, repro.cores,
                    repro.dse, repro.engine, repro.eval, repro.interconnect,
-                   repro.memory, repro.power, repro.scenarios,
+                   repro.memory, repro.obs, repro.power, repro.scenarios,
                    repro.sync, repro.telemetry, repro.workloads):
         for name in module.__all__:
             assert hasattr(module, name), (module.__name__, name)
