@@ -14,9 +14,23 @@ The enabled-mode bench also reconciles the counters against the pool's
 own accounting — the 24-point campaign spans exactly 2 machine groups,
 so the observed run must report 2 builds, 22 resets and 24 point spans,
 or the instrumentation is lying about what the harness did.
+
+PR 9 threads a second instrument family through the same sites: the
+campaign event log and worker heartbeats (``OBS.events`` /
+``OBS.heartbeat``).  Same contract, new baseline: with the event-log
+hooks compiled in but off — the default — the batched campaign must
+stay within noise of the ``PR8-obs-hooks`` floor, so the two
+observability layers cannot silently stack overhead.  The events-on
+bench is correctness-gated like enabled-mode tracing: one
+``point_started`` record per executed spec, a schema-valid log, and no
+heartbeat files left behind after a clean close.
 """
 
+import os
+
 from repro.obs import OBS
+from repro.obs.eventlog import events_path, validate_events_file
+from repro.obs.heartbeat import heartbeat_dir
 from repro.scenarios.run import run_scenarios
 
 from bench_batch import _campaign_specs
@@ -78,3 +92,67 @@ def test_obs_enabled_counters_reconcile(benchmark):
                point_spans=snap["timers"]["span.point"]["count"],
                pool_builds=counters["pool.build"],
                pool_resets=counters["pool.reset"])
+
+
+def test_obs_events_off_within_obs_hooks_noise(benchmark):
+    """Event-log hooks off (default): within noise of PR8-obs-hooks."""
+    specs = _campaign_specs()
+    assert OBS.events is None and OBS.heartbeat is None
+
+    def run():
+        return run_scenarios(specs, batch=True)
+
+    results = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert len(results) == len(specs)
+    if not benchmark.enabled:
+        return  # --benchmark-disable: correctness-only execution
+    best = benchmark.stats.stats.min
+    baseline = baseline_stat("test_obs_disabled_within_batch_core_noise",
+                             "PR8-obs-hooks", stat="min")
+    report(benchmark,
+           f"events-off batched campaign: min {best:.4f}s vs "
+           f"PR8-obs-hooks {baseline:.4f}s "
+           f"(x{best / baseline:.2f})",
+           baseline_s=round(baseline, 6),
+           ratio=round(best / baseline, 3))
+    assert best <= baseline * NOISE_FACTOR, (
+        f"events-off campaign min {best:.6f}s exceeds "
+        f"{baseline:.6f}s * {NOISE_FACTOR} — the event-log hooks "
+        f"are no longer free when disabled")
+
+
+def test_obs_events_enabled_campaign_reconciles(benchmark, tmp_path):
+    """Events on: results identical, log reconciles, heartbeats clean."""
+    specs = _campaign_specs()
+    directory = str(tmp_path / "camp")
+    rounds = []
+
+    def run():
+        OBS.open_events(events_path(directory))
+        try:
+            results = run_scenarios(specs, batch=True)
+        finally:
+            OBS.close_events()
+        rounds.append(1)
+        return results
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Observation must not perturb the simulation.
+    assert results == run_scenarios(specs, batch=True)
+    records, warnings = validate_events_file(events_path(directory))
+    assert warnings == []
+    started = [record for record in records
+               if record["event"] == "point_started"]
+    # One writer session per round, one point_started per spec.
+    assert len(started) == len(rounds) * len(specs), (
+        len(started), len(rounds), len(specs))
+    # A clean close stops the heartbeat thread and removes its file.
+    assert os.listdir(heartbeat_dir(directory)) == []
+    if benchmark.enabled:
+        report(benchmark,
+               f"events-on batched campaign: min "
+               f"{benchmark.stats.stats.min:.4f}s "
+               f"({len(specs)} points, {len(records)} events/round "
+               f"across {len(rounds)} rounds)",
+               events_per_round=len(records) // len(rounds),
+               point_started=len(started) // len(rounds))

@@ -87,7 +87,7 @@ from .telemetry import (
     register_probe,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "LatencyConfig",

@@ -24,7 +24,12 @@ diagnostics without writing a kernel:
 * ``obs`` — platform observability readback: ``repro obs summary
   FILE`` renders utilization/cache/throughput from an ``--obs-trace``
   Chrome trace (record one with ``repro sweep/explore/reproduce
-  --obs-trace FILE [--profile OUT]``) or from a campaign journal;
+  --obs-trace FILE [--profile OUT]``), a campaign journal, or an
+  ``events.jsonl`` control-plane log;
+* ``status`` — live campaign monitoring: ``repro status DIR
+  [--follow]`` reconstructs progress, budget burn, ETA and per-worker
+  liveness purely from the on-disk control plane an ``explore
+  --events`` campaign maintains — running, finished or killed alike;
 * ``trace`` — run a scenario with telemetry probes attached and render
   or export the diagnostics (``repro trace histogram --probe
   bank_contention --out report/ --format json``);
@@ -346,6 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "process with pooled machines (bit-"
                               "identical journal; incompatible with "
                               "--jobs)")
+    explore.add_argument("--events", action="store_true",
+                         help="write the campaign control plane next to "
+                              "the journal: an append-only "
+                              "events.jsonl of state transitions plus "
+                              "per-process heartbeats, which is what "
+                              "'repro status' reads (needs --out/"
+                              "--resume)")
     _add_jobs(explore)
     _add_obs(explore)
 
@@ -369,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="the cache directory to inspect or prune")
     cachep.add_argument("--max-entries", type=int, default=None,
                         help="entry bound for 'prune' (required there)")
+    cachep.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON instead of the "
+                             "table (footprint + lifetime counters)")
 
     hist = sub.add_parser("histogram",
                           help="contended histogram (Figs. 3/4 workload)")
@@ -421,8 +436,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="'summary' renders utilization, cache and "
                            "throughput figures from an artifact")
     obsp.add_argument("file",
-                      help="an --obs-trace Chrome trace JSON, or a "
-                           "campaign journal.json (wall_ms attribution)")
+                      help="an --obs-trace Chrome trace JSON, a "
+                           "campaign journal.json (wall_ms "
+                           "attribution), or an events.jsonl control-"
+                           "plane log")
+
+    statusp = sub.add_parser(
+        "status", help="live campaign status — progress, ETA, worker "
+                       "liveness — reconstructed purely from the "
+                       "on-disk control plane (event log + heartbeats "
+                       "+ journal)")
+    statusp.add_argument("path",
+                         help="campaign directory, or its journal.json "
+                              "/ events.jsonl")
+    statusp.add_argument("--follow", action="store_true",
+                         help="poll and re-render until the campaign "
+                              "finishes or dies")
+    statusp.add_argument("--interval", type=float, default=1.0,
+                         help="seconds between --follow polls "
+                              "(default 1)")
+    statusp.add_argument("--timeout", type=float, default=None,
+                         help="stop --follow after this many seconds "
+                              "even if the campaign is still running")
+    statusp.add_argument("--stale-after", type=float, default=None,
+                         help="seconds of heartbeat silence before a "
+                              "live worker is reported stale (default: "
+                              "max(10, 4x its beat interval))")
+    statusp.add_argument("--json", action="store_true", dest="as_json",
+                         help="one machine-readable JSON snapshot "
+                              "instead of the rendering")
+    statusp.add_argument("--width", type=int, default=40,
+                         help="character width of the progress bar")
     return parser
 
 
@@ -702,11 +746,27 @@ def cmd_explore(args) -> str:
         objectives=objectives, budget=args.budget, seed=base.seed,
         jobs=jobs, cache=cache, journal_file=journal_file,
         resume=resume_doc, batch=args.batch)
-    result = campaign.run()
+    events_file = None
+    if args.events:
+        if not directory:
+            raise ConfigError(
+                "--events needs --out DIR (or --resume DIR): the event "
+                "log lives next to the journal")
+        from .obs.eventlog import events_path
+        events_file = events_path(directory)
+        OBS.open_events(events_file)
+    try:
+        result = campaign.run()
+    finally:
+        if events_file is not None:
+            OBS.close_events()
     parts = [render_journal(result.journal, width=args.width,
                             top=args.top)]
     if journal_file:
         parts.append(f"journal: {journal_file}")
+    if events_file is not None:
+        parts.append(f"events: {events_file} (inspect with "
+                     f"'repro status {directory}')")
     if result.status == "budget":
         if directory:
             parts.append(f"budget exhausted after {result.paid} paid "
@@ -751,6 +811,20 @@ def cmd_cache(args) -> str:
         # Persist the eviction count so future 'stats' runs see it.
         cache.flush_counters()
     stats = cache.stats()
+    if args.as_json:
+        import json as json_module
+        lifetime = cache.lifetime_stats()
+        looked = lifetime["hits"] + lifetime["misses"]
+        document = {
+            "path": stats["path"],
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "evicted": removed,
+            "lifetime": lifetime,
+            "lifetime_hit_rate": (lifetime["hits"] / looked
+                                  if looked else None),
+        }
+        return json_module.dumps(document, indent=2, sort_keys=True)
     rows = [("path", stats["path"]),
             ("entries", stats["entries"]),
             ("bytes", stats["bytes"])]
@@ -774,6 +848,26 @@ def cmd_cache(args) -> str:
 def cmd_obs(args) -> str:
     from .obs.summary import render_summary
     return render_summary(args.file)
+
+
+def cmd_status(args) -> str:
+    from .engine.errors import ConfigError
+    from .obs.status import collect_status, follow, render_status
+    if args.as_json:
+        if args.follow:
+            raise ConfigError(
+                "--json emits one snapshot; drop --follow (poll "
+                "'repro status --json' yourself instead)")
+        import json as json_module
+        status = collect_status(args.path, stale_after=args.stale_after)
+        return json_module.dumps(status, indent=2, sort_keys=True)
+    if args.follow:
+        status = follow(args.path, interval=args.interval,
+                        timeout=args.timeout,
+                        stale_after=args.stale_after, width=args.width)
+        return f"follow: stopped ({status['state']})"
+    status = collect_status(args.path, stale_after=args.stale_after)
+    return render_status(status, width=args.width)
 
 
 # -- legacy workload shortcuts (spec shims) ------------------------------------
@@ -877,6 +971,7 @@ COMMANDS = {
     "frontier": cmd_frontier,
     "cache": cmd_cache,
     "obs": cmd_obs,
+    "status": cmd_status,
     "trace": cmd_trace,
     "histogram": cmd_histogram,
     "queue": cmd_queue,

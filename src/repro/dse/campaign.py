@@ -291,6 +291,12 @@ class Campaign:
         generator = self.sampler.batches(self.space, self.budget, rng)
         scores = None
         batch_index = 0
+        events = OBS.events
+        if events is not None:
+            events.emit("campaign_started", workload=self.base.workload,
+                        sampler=self.sampler.name, budget=self.budget,
+                        seed=self.seed, jobs=self.jobs,
+                        batch=self.batch, resumed=len(replay))
         with OBS.span("campaign", cat="campaign",
                       workload=self.base.workload, budget=self.budget,
                       sampler=self.sampler.name):
@@ -304,6 +310,12 @@ class Campaign:
                                               evaluations, seen, paid)
                     paid, truncated = outcome
                     self._write(journal, evaluations, paid, "partial")
+                    monitor = OBS.heartbeat
+                    if monitor is not None:
+                        monitor.update(
+                            points=len(evaluations),
+                            last_seq=(events.last_seq
+                                      if events is not None else None))
                     if truncated:
                         status = "budget"
                         break
@@ -323,6 +335,10 @@ class Campaign:
                 # appended paid ones.
                 flushed_paid = sum(1 for e in evaluations if not e.cached)
                 self._write(journal, evaluations, flushed_paid, "partial")
+                if OBS.events is not None:
+                    OBS.events.emit("campaign_finished", status="partial",
+                                    points=len(evaluations),
+                                    paid=flushed_paid)
                 raise
             finally:
                 generator.close()
@@ -398,6 +414,12 @@ class Campaign:
                 planned.append((combo, spec, "fresh", None))
             else:
                 planned.append((combo, spec, "cache", hit))
+        events = OBS.events
+        if events is not None:
+            events.emit("batch_scheduled", batch=batch_index,
+                        rung=batch.rung, fidelity=batch.fidelity,
+                        points=len(planned), fresh=len(fresh_specs),
+                        truncated=truncated)
         sim_start = time.perf_counter()
         computed = self._simulate(fresh_specs)
         sim_ms = (time.perf_counter() - sim_start) * 1000.0
@@ -437,6 +459,16 @@ class Campaign:
                     cache_hit=(source == "cache"))
             seen.setdefault(evaluation.spec_hash, evaluation)
             evaluations.append(evaluation)
+            if events is not None:
+                # The single source of point_finished records for every
+                # resolution path, so event-log totals reconcile exactly
+                # against the journal (replays included — a resumed
+                # campaign's log re-reports the replayed records).
+                events.emit("point_finished", index=evaluation.index,
+                            spec_hash=evaluation.spec_hash,
+                            cache_hit=evaluation.cache_hit,
+                            paid=not evaluation.cached,
+                            wall_ms=evaluation.wall_ms, source=source)
         if OBS.enabled:
             OBS.inc("campaign.points", len(planned))
             OBS.inc("campaign.paid", len(fresh_specs))
@@ -466,6 +498,10 @@ class Campaign:
         if self.journal_file is not None \
                 and len(evaluations) >= self._resume_count:
             write_journal(self.journal_file, journal)
+            if OBS.events is not None:
+                OBS.events.emit("journal_written",
+                                evaluations=len(evaluations),
+                                status=status)
 
     def _finalize(self, journal: dict, evaluations: list, paid: int,
                   status: str) -> dict:
@@ -476,6 +512,9 @@ class Campaign:
         journal["best"] = best.index if best is not None else None
         journal["frontier"] = [e.index for e in result.frontier()]
         self._write(journal, evaluations, paid, status)
+        if OBS.events is not None:
+            OBS.events.emit("campaign_finished", status=status,
+                            points=len(evaluations), paid=paid)
         if self.cache is not None:
             # A batch served entirely from the cache never reaches
             # run_scenarios' flush; settle the sidecar totals here.

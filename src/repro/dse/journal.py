@@ -71,6 +71,24 @@ def load_journal(path: str) -> dict:
     return data
 
 
+def load_journal_tolerant(path: str):
+    """Best-effort journal read for monitoring: ``(data, warnings)``.
+
+    ``repro status`` must render something useful from whatever a
+    killed campaign left behind, so unlike :func:`load_journal` this
+    salvages a truncated document (largest valid JSON prefix) and skips
+    schema validation — evaluation records are consumed defensively by
+    the caller.  Unreadable or unsalvageable files still raise
+    :class:`~repro.engine.errors.ConfigError`.
+    """
+    from ..obs.artifacts import load_artifact
+    kind, data, warnings = load_artifact(path, tolerant=True)
+    if kind != "journal":
+        raise ConfigError(f"{path!r} is not a campaign journal "
+                          f"(detected: {kind})")
+    return data, warnings
+
+
 def new_journal(campaign: dict) -> dict:
     """A fresh (no evaluations yet) journal document."""
     return {

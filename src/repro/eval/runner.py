@@ -257,6 +257,8 @@ class ResultCache:
         self.stores += 1
         if OBS.enabled:
             OBS.inc("cache.store")
+        if OBS.events is not None:
+            OBS.events.emit("cache_store", key=key[:12])
         if self.max_entries is not None:
             if self._disk_count is None:
                 self._disk_count = len(self._entries())
@@ -380,6 +382,8 @@ class ResultCache:
         self.evictions += removed
         if removed and OBS.enabled:
             OBS.inc("cache.evict", removed)
+        if removed and OBS.events is not None:
+            OBS.events.emit("cache_evict", count=removed)
         self._disk_count = len(entries) - removed
         return removed
 
@@ -390,6 +394,40 @@ class ResultCache:
             if name.endswith(".pkl"):
                 os.unlink(os.path.join(self.path, name))
         self._disk_count = 0
+
+
+def _pool_worker_init(events_file: str, heartbeat_interval) -> None:
+    """Pool initializer when the parent has the control plane open.
+
+    Each worker opens its own appender on the shared ``events.jsonl``
+    (the parent's handle inherited through fork would reuse its seq
+    counter), starts its own heartbeat file, and announces itself.
+    The farewell is a :class:`multiprocessing.util.Finalize` hook —
+    pool workers exit through ``os._exit``, which skips ``atexit`` but
+    does run multiprocessing's registered finalizers — so a normal
+    ``Pool.close()``/``join()`` (see :func:`run_experiments`) emits
+    ``worker_exited`` and removes the heartbeat file, while only an
+    abnormal death skips it: exactly the case heartbeats exist to
+    expose.
+    """
+    from multiprocessing.util import Finalize
+    # Forked workers inherit the parent's EventLog/Heartbeat objects;
+    # closing those would delete the *coordinator's* heartbeat file.
+    # Drop the references without touching disk, then open our own.
+    OBS.events = None
+    OBS.heartbeat = None
+    OBS.open_events(events_file, role="worker",
+                    heartbeat_interval=heartbeat_interval)
+    OBS.events.emit("worker_spawned", role="worker")
+    Finalize(None, _pool_worker_exit, exitpriority=100)
+
+
+def _pool_worker_exit() -> None:
+    monitor = OBS.heartbeat
+    if OBS.events is not None:
+        OBS.events.emit("worker_exited",
+                        points=monitor.points if monitor else 0)
+    OBS.close_events()
 
 
 def _invoke(payload: tuple):
@@ -476,7 +514,16 @@ def run_experiments(calls: Sequence[ExperimentCall], jobs: int = 1,
         payloads = [(call.fn, call.args, call.kwargs)
                     for _index, call in pending]
         workers = min(jobs, len(payloads))
-        with multiprocessing.Pool(processes=workers) as pool:
+        events = OBS.events
+        initializer = initargs = None
+        if events is not None:
+            monitor = OBS.heartbeat
+            initializer = _pool_worker_init
+            initargs = (events.path,
+                        monitor.interval if monitor is not None else None)
+        with multiprocessing.Pool(processes=workers,
+                                  initializer=initializer,
+                                  initargs=initargs or ()) as pool:
             if OBS.enabled:
                 # Workers record their own spans/counters; snapshots
                 # come back in call order (pool.map preserves it), so
@@ -488,6 +535,12 @@ def run_experiments(calls: Sequence[ExperimentCall], jobs: int = 1,
                     computed.append(result)
             else:
                 computed = pool.map(_invoke, payloads, chunksize=1)
+            if events is not None:
+                # The ``with`` block terminates workers outright; a
+                # close/join first lets their atexit farewells (the
+                # worker_exited event, heartbeat removal) run.
+                pool.close()
+                pool.join()
     for (index, call), result in zip(pending, computed):
         results[index] = result
         if cache is not None:

@@ -1,9 +1,10 @@
-"""``python -m repro.obs <trace.json> [...]`` — schema validation.
+"""``python -m repro.obs <artifact> [...]`` — schema validation.
 
 Thin wrapper over :func:`repro.obs.schema.main` so CI can validate
-exported platform traces without tripping runpy's already-imported-
-module warning (the same arrangement as ``python -m repro.telemetry``
-and ``python -m repro.dse``).
+exported platform traces, campaign event logs (``events.jsonl``) and
+journals without tripping runpy's already-imported-module warning (the
+same arrangement as ``python -m repro.telemetry`` and ``python -m
+repro.dse``).
 """
 
 import sys

@@ -7,9 +7,10 @@ the Chrome trace-event layout (and from the ``otherData`` metrics block
 file Perfetto cannot load.  Zero schema dependencies, same as the
 telemetry and journal validators: plain checks over the parsed dict.
 
-Run standalone over one or more files::
+Run standalone over one or more files — traces, campaign event logs
+(``events.jsonl``) and journals are all recognized::
 
-    python -m repro.obs trace.json [more.json ...]
+    python -m repro.obs trace.json events.jsonl [more ...]
 
 exits 0 when every file validates, 2 with a message otherwise.
 
@@ -22,7 +23,6 @@ chain would be a cycle waiting to happen.)
 
 from __future__ import annotations
 
-import json
 import sys
 
 from ..engine.errors import ConfigError
@@ -120,27 +120,60 @@ def validate_trace(data: dict) -> None:
             raise SchemaError(f"{where}: must be a dict")
         for key in _TIMER_KEYS:
             _require(timer, key, (int, float), where)
+    histograms = other.get("histograms")
+    if histograms is None:
+        return  # pre-histogram traces stay valid
+    if not isinstance(histograms, dict):
+        raise SchemaError("trace.otherData: 'histograms' must be a dict")
+    for name, histogram in histograms.items():
+        where = f"trace.otherData.histograms[{name!r}]"
+        if not isinstance(histogram, dict):
+            raise SchemaError(f"{where}: must be a dict")
+        _require(histogram, "count", int, where)
+        _require(histogram, "total_s", (int, float), where)
+        buckets = _require(histogram, "buckets", list, where)
+        for position, occupancy in enumerate(buckets):
+            if not isinstance(occupancy, int) or isinstance(occupancy,
+                                                            bool):
+                raise SchemaError(
+                    f"{where}.buckets[{position}]: must be an int, "
+                    f"got {occupancy!r}")
 
 
 def main(argv=None) -> int:
-    """Validate trace files given on the command line."""
+    """Validate trace / event-log / journal files from the command line."""
+    from .artifacts import load_artifact
     paths = sys.argv[1:] if argv is None else list(argv)
     if not paths:
-        print("usage: python -m repro.obs trace.json [...]")
+        print("usage: python -m repro.obs "
+              "{trace.json|events.jsonl|journal.json} [...]")
         return 2
     for path in paths:
         try:
-            with open(path) as stream:
-                data = json.load(stream)
-            validate_trace(data)
-        except (OSError, ValueError, SchemaError) as exc:
+            kind, payload, warnings = load_artifact(path)
+            if kind == "trace":
+                validate_trace(payload)
+                spans = sum(1 for event in payload["traceEvents"]
+                            if event.get("ph") == "X")
+                detail = (f"{spans} spans, "
+                          f"{len(payload.get('otherData', {}).get('counters', {}))} "
+                          f"counters")
+            elif kind == "events":
+                from .eventlog import validate_events
+                validate_events(payload)
+                writers = {record["pid"] for record in payload}
+                detail = f"{len(payload)} events, {len(writers)} writers"
+            else:
+                from ..dse.schema import validate_journal
+                validate_journal(payload)
+                detail = (f"{len(payload['evaluations'])} evaluations, "
+                          f"status {payload['status']}")
+        except (ConfigError, OSError, ValueError) as exc:
             print(f"schema: {path}: {exc}")
             return 2
-        spans = sum(1 for event in data["traceEvents"]
-                    if event.get("ph") == "X")
-        print(f"schema: {path}: ok ({spans} spans, "
-              f"{len(data.get('otherData', {}).get('counters', {}))} "
-              f"counters)")
+        print(f"schema: {path}: ok ({kind}: {detail})")
+        for warning in warnings:
+            print(f"schema: {path}: warning: {warning}")
     return 0
 
 

@@ -81,6 +81,7 @@ class _SpanHandle:
         if self._profiled:
             session.profiler.stop(self._name, seconds)
         session.metrics.observe("span." + self._cat, seconds)
+        session.metrics.histo("span." + self._cat, seconds)
         return False
 
 
@@ -93,6 +94,13 @@ class ObsSession:
         self.metrics = MetricsRegistry()
         self.profiler: Optional[PhaseProfiler] = None
         self.origin = 0.0
+        #: The on-disk control plane, opened per campaign via
+        #: :meth:`open_events`.  Independent of :attr:`enabled` — the
+        #: event log is durable state, not an in-memory recording —
+        #: and ``None`` by default, so every emission site is the same
+        #: one-attr-load-plus-branch as the trace hooks.
+        self.events = None
+        self.heartbeat = None
         #: Worker pid -> rendering lane, assigned in merge (= call)
         #: order so lane numbering is deterministic for a given run.
         self._tracks: dict = {}
@@ -111,6 +119,46 @@ class ObsSession:
     def disable(self) -> None:
         """Stop recording (buffers stay readable until the next enable)."""
         self.enabled = False
+
+    def open_events(self, path: str, role: str = "coordinator",
+                    heartbeat: bool = True,
+                    heartbeat_interval: float = None):
+        """Open the on-disk control plane: event log + heartbeat.
+
+        ``path`` is the ``events.jsonl`` file; the heartbeat directory
+        lives beside it.  Replaces any previously open control plane.
+        Orthogonal to :meth:`enable` — campaigns can write events
+        without paying for span recording, and vice versa.
+        """
+        from .eventlog import EventLog
+        from .heartbeat import DEFAULT_INTERVAL, Heartbeat
+        from .heartbeat import heartbeat_dir as resolve_heartbeat_dir
+        self.close_events()
+        self.events = EventLog(path)
+        if heartbeat:
+            directory = os.path.dirname(os.path.abspath(path))
+            interval = (DEFAULT_INTERVAL if heartbeat_interval is None
+                        else heartbeat_interval)
+            self.heartbeat = Heartbeat(resolve_heartbeat_dir(directory),
+                                       role=role,
+                                       interval=interval).start()
+        return self.events
+
+    def close_events(self, keep_heartbeat: bool = False) -> None:
+        """Close the control plane; removes this process's heartbeat
+        file (unless ``keep_heartbeat``) so a clean exit reads as one."""
+        monitor, self.heartbeat = self.heartbeat, None
+        if monitor is not None:
+            monitor.stop(remove=not keep_heartbeat)
+        log, self.events = self.events, None
+        if log is not None:
+            log.close()
+
+    def emit(self, event: str, **fields) -> None:
+        """Emit one control-plane event if the log is open, else no-op."""
+        log = self.events
+        if log is not None:
+            log.emit(event, **fields)
 
     # -- recording ------------------------------------------------------------
 
@@ -182,7 +230,7 @@ class ObsSession:
             self.tracer.next_id = top + 1
             self.tracer.adopt(rebased)
         self.metrics.merge(snap.get("counters"), snap.get("gauges"),
-                           snap.get("timers"))
+                           snap.get("timers"), snap.get("histograms"))
 
     # -- export ---------------------------------------------------------------
 
@@ -228,6 +276,7 @@ class ObsSession:
                 "counters": snap["counters"],
                 "gauges": snap["gauges"],
                 "timers": snap["timers"],
+                "histograms": snap["histograms"],
             },
         }
 

@@ -63,23 +63,37 @@ def execute_batch(specs: Sequence[ScenarioSpec]) -> list:
     """
     runner = BatchRunner()
     results = []
+    events = OBS.events
+    monitor = OBS.heartbeat
     for spec in specs:
         workload = get_workload(spec.workload)
+        if events is not None or monitor is not None:
+            spec_hash = spec.stable_hash()
+            if events is not None:
+                events.emit("point_started", spec_hash=spec_hash,
+                            workload=spec.workload)
+            if monitor is not None:
+                monitor.point_started(
+                    spec_hash, last_seq=(events.last_seq
+                                         if events is not None else None))
         with OBS.span(spec.workload, cat="point", variant=spec.variant,
                       cores=spec.num_cores):
             if type(workload).run is not Workload.run:
                 # Composite measurement (its own machines, its own rules).
                 results.append(workload.run(spec))
-                continue
-            with OBS.span("acquire", cat="phase"):
-                machine = runner.acquire(machine_key(spec),
-                                         lambda s=spec: build_machine(s))
-            result = execute(workload, spec, machine=machine)
-            if result.stats is machine.stats:
-                # The pooled machine recycles its counter tree on the
-                # next acquire; detach a snapshot so the result stays
-                # immutable.
-                result = dataclasses.replace(
-                    result, stats=result.stats.snapshot())
-            results.append(result)
+            else:
+                with OBS.span("acquire", cat="phase"):
+                    machine = runner.acquire(machine_key(spec),
+                                             lambda s=spec: build_machine(s))
+                result = execute(workload, spec, machine=machine)
+                if result.stats is machine.stats:
+                    # The pooled machine recycles its counter tree on the
+                    # next acquire; detach a snapshot so the result stays
+                    # immutable.
+                    result = dataclasses.replace(
+                        result, stats=result.stats.snapshot())
+                results.append(result)
+        if monitor is not None:
+            monitor.point_finished(
+                last_seq=events.last_seq if events is not None else None)
     return results

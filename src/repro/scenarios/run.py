@@ -189,9 +189,24 @@ def execute(workload, spec: ScenarioSpec,
 
 def _execute_spec(spec: ScenarioSpec) -> ScenarioResult:
     """Module-level entry for pool workers (picklable by name)."""
+    events = OBS.events
+    monitor = OBS.heartbeat
+    if events is not None or monitor is not None:
+        spec_hash = spec.stable_hash()
+        if events is not None:
+            events.emit("point_started", spec_hash=spec_hash,
+                        workload=spec.workload)
+        if monitor is not None:
+            monitor.point_started(
+                spec_hash,
+                last_seq=events.last_seq if events is not None else None)
     with OBS.span(spec.workload, cat="point", variant=spec.variant,
                   cores=spec.num_cores):
-        return get_workload(spec.workload).run(spec)
+        result = get_workload(spec.workload).run(spec)
+    if monitor is not None:
+        monitor.point_finished(
+            last_seq=events.last_seq if events is not None else None)
+    return result
 
 
 def scenario_cache_key(spec: ScenarioSpec) -> str:

@@ -121,3 +121,75 @@ def test_cache_stats_reports_lifetime_rates(capsys, tmp_path):
     assert "lifetime hits" in out
     assert "lifetime hit rate" in out
     assert "50.0%" in out                   # 2 hits / 4 lookups
+
+
+def test_obs_summary_tolerates_truncated_journal(capsys, tmp_path):
+    camp = tmp_path / "camp"
+    run_cli(capsys, SMOKE_EXPLORE + ["--out", str(camp)])
+    journal = camp / "journal.json"
+    text = journal.read_text()
+    journal.write_text(text[:len(text) // 2])  # crash mid-write
+    out = run_cli(capsys, ["obs", "summary", str(journal)])
+    assert "obs summary (journal)" in out
+    assert "warning: artifact truncated" in out
+
+
+def test_obs_summary_reads_event_logs(capsys, tmp_path):
+    camp = tmp_path / "camp"
+    run_cli(capsys, SMOKE_EXPLORE + ["--out", str(camp), "--events"])
+    out = run_cli(capsys, ["obs", "summary",
+                           str(camp / "events.jsonl")])
+    assert "obs summary (events)" in out
+    assert "points finished" in out
+    assert "writer sessions" in out
+
+
+def test_explore_events_needs_a_directory(capsys):
+    out = run_cli(capsys, SMOKE_EXPLORE + ["--events"], expect_code=2)
+    assert "--events needs --out DIR" in out
+
+
+def test_status_on_finished_campaign(capsys, tmp_path):
+    camp = tmp_path / "camp"
+    run_cli(capsys, SMOKE_EXPLORE + ["--out", str(camp), "--events"])
+    out = run_cli(capsys, ["status", str(camp)])
+    assert "state:    finished (complete)" in out
+    assert "100.0%" in out
+    assert "(4/4 paid, 0 free)" in out
+
+    snapshot = json.loads(run_cli(capsys,
+                                  ["status", str(camp), "--json"]))
+    assert snapshot["state"] == "finished (complete)"
+    assert snapshot["points"] == 4
+    assert snapshot["events"]["batches"] >= 1
+    # Event-log totals reconcile against the journal on disk.
+    assert snapshot["journal"]["evaluations"] == snapshot["points"]
+    assert snapshot["journal"]["paid"] == snapshot["paid"]
+
+    follow_out = run_cli(capsys, ["status", str(camp), "--follow",
+                                  "--timeout", "5"])
+    assert "follow: stopped (finished (complete))" in follow_out
+
+
+def test_status_json_follow_conflict(capsys, tmp_path):
+    out = run_cli(capsys, ["status", str(tmp_path), "--json",
+                           "--follow"], expect_code=2)
+    assert "drop --follow" in out
+
+
+def test_status_missing_path_exits_2(capsys, tmp_path):
+    out = run_cli(capsys, ["status", str(tmp_path / "ghost")],
+                  expect_code=2)
+    assert "cannot read" in out
+
+
+def test_cache_stats_json(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    argv = SMOKE_SWEEP + ["--cache-dir", cache_dir]
+    run_cli(capsys, argv)
+    run_cli(capsys, argv)
+    stats = json.loads(run_cli(capsys, ["cache", "stats", "--json",
+                                        "--cache-dir", cache_dir]))
+    assert stats["entries"] == 2
+    assert stats["lifetime"]["hits"] == 2
+    assert stats["lifetime_hit_rate"] == 0.5

@@ -88,7 +88,7 @@ def test_schema_cli_ok_and_reject(tmp_path, capsys):
     good = session.export_chrome_trace(str(tmp_path / "good.json"))
     assert schema_main([good]) == 0
     out = capsys.readouterr().out
-    assert "ok (3 spans, 1 counters)" in out
+    assert "ok (trace: 3 spans, 1 counters)" in out
 
     bad = tmp_path / "bad.json"
     document = _valid_document()
